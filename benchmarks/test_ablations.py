@@ -1,0 +1,42 @@
+"""Design-choice ablations beyond the paper's figures (DESIGN.md §5)."""
+
+from repro.experiments import (
+    eviction_ablation,
+    placement_ablation,
+    tp_src_pathology,
+)
+from conftest import run_once
+
+
+def test_ablation_placement_policy(benchmark, scale):
+    results = run_once(benchmark, placement_ablation, "PSC", "high", scale)
+    print("\nplacement  hit_rate  misses  peak_entries")
+    for name, r in results.items():
+        print(f"{name:<10} {r.hit_rate:.4f}  {r.misses:6d}  "
+              f"{r.peak_entries}")
+    # Both policies must produce a working cache; balanced should not be
+    # clearly worse than earliest-fit.
+    assert results["balanced"].hit_rate > 0.5
+    assert results["balanced"].hit_rate >= results["earliest"].hit_rate - 0.05
+
+
+def test_ablation_eviction_policy(benchmark, scale):
+    results = run_once(benchmark, eviction_ablation, "PSC", "high", scale)
+    print("\neviction  hit_rate  misses")
+    for name, r in results.items():
+        print(f"{name:<9} {r.hit_rate:.4f}  {r.misses:6d}")
+    # LRU degrades gracefully under pressure; reject-on-full relies on
+    # idle expiry alone and must not be better.
+    assert results["lru"].hit_rate >= results["reject"].hit_rate - 0.02
+
+
+def test_ablation_tp_src_pathology(benchmark, scale):
+    results = run_once(benchmark, tp_src_pathology, "PSC", "high", scale)
+    print("\nvariant   hit_rate  misses  peak_entries")
+    for name, r in results.items():
+        print(f"{name:<9} {r.hit_rate:.4f}  {r.misses:6d}  "
+              f"{r.peak_entries}")
+    # Exact-tp_src rules contaminate dependency masks and collapse
+    # sub-traversal sharing — the clean ruleset must win decisively.
+    assert results["clean"].hit_rate > results["polluted"].hit_rate
+    assert results["clean"].misses < results["polluted"].misses

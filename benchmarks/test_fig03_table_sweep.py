@@ -1,0 +1,23 @@
+"""Fig. 3: more Gigaflow tables → fewer misses, more coverage (OLS)."""
+
+from repro.experiments import sweep_tables
+from conftest import run_once
+
+
+def test_fig03_misses_and_coverage_vs_tables(benchmark, scale):
+    points = run_once(
+        benchmark, sweep_tables, "OLS", (1, 2, 3, 4), "high", scale
+    )
+    by_k = {p.k_tables: p for p in points}
+    print("\nK  misses  peak_entries  coverage")
+    for k in (1, 2, 3, 4):
+        p = by_k[k]
+        print(f"{k}  {p.misses:6d}  {p.peak_entries:12d}  {p.coverage}")
+
+    # Paper shape: K=4 cuts misses dramatically vs K=1 (up to 90%)...
+    assert by_k[4].misses < by_k[1].misses * 0.6
+    # ...monotone-ish improvement with K...
+    assert by_k[2].misses <= by_k[1].misses
+    assert by_k[4].misses <= by_k[2].misses
+    # ...and rule-space coverage explodes (335x at K=4 in the paper).
+    assert by_k[4].coverage > by_k[1].coverage * 10

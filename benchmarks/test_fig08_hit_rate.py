@@ -1,0 +1,31 @@
+"""Fig. 8: end-to-end cache hit rate — Gigaflow (4×K) vs Megaflow."""
+
+from repro.experiments import PIPELINE_NAMES, fig08_hit_rates
+from conftest import run_once
+
+
+def test_fig08_hit_rates(benchmark, scale):
+    rates = run_once(benchmark, fig08_hit_rates, scale)
+    print("\npipeline locality  MF-hit  GF-hit")
+    for (name, locality), (mf, gf) in sorted(rates.items()):
+        print(f"{name:<8} {locality:<9} {mf:.4f}  {gf:.4f}")
+
+    # Paper shape — high locality: Gigaflow beats Megaflow everywhere
+    # except OTL (little partitioning potential), where it stays
+    # comparable.
+    for name in PIPELINE_NAMES:
+        mf, gf = rates[(name, "high")]
+        if name == "OTL":
+            assert gf > mf - 0.05
+        else:
+            assert gf > mf, f"{name}: {gf:.3f} <= {mf:.3f}"
+    # At least one pipeline shows a large absolute gain.
+    best_gain = max(
+        rates[(n, "high")][1] - rates[(n, "high")][0]
+        for n in PIPELINE_NAMES
+    )
+    assert best_gain > 0.05
+    # Low locality: Gigaflow remains comparable (within 10 points).
+    for name in PIPELINE_NAMES:
+        mf, gf = rates[(name, "low")]
+        assert gf > mf - 0.10, f"{name} low: {gf:.3f} vs {mf:.3f}"

@@ -1,0 +1,24 @@
+"""Fig. 9: end-to-end cache misses — Gigaflow (4×K) vs Megaflow."""
+
+from repro.experiments import PIPELINE_NAMES, fig09_misses
+from conftest import run_once
+
+
+def test_fig09_miss_reduction(benchmark, scale):
+    misses = run_once(benchmark, fig09_misses, scale)
+    print("\npipeline locality  MF-miss  GF-miss  reduction")
+    for (name, locality), (mf, gf) in sorted(misses.items()):
+        red = 1 - gf / mf if mf else 0.0
+        print(f"{name:<8} {locality:<9} {mf:7d}  {gf:7d}  {red:8.1%}")
+
+    # Paper shape: in high locality Gigaflow removes a large share of
+    # misses (up to 90%, 64% average); the best pipeline shows >50%.
+    reductions = {
+        name: 1 - misses[(name, "high")][1] / misses[(name, "high")][0]
+        for name in PIPELINE_NAMES
+    }
+    assert max(reductions.values()) > 0.5
+    # All non-OTL pipelines see fewer misses.
+    for name in PIPELINE_NAMES:
+        if name != "OTL":
+            assert reductions[name] > 0, f"{name}: {reductions[name]:.2f}"

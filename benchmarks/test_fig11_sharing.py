@@ -1,0 +1,26 @@
+"""Fig. 11: frequency of sub-traversals reoccurring across traversals."""
+
+from repro.experiments import PIPELINE_NAMES, fig11_sharing
+from conftest import run_once
+
+
+def test_fig11_sub_traversal_sharing(benchmark, scale):
+    sharing = run_once(benchmark, fig11_sharing, scale)
+    print("\npipeline locality  avg sharing")
+    for (name, locality), value in sorted(sharing.items()):
+        print(f"{name:<8} {locality:<9} {value:.2f}")
+
+    # Every cached sub-traversal is installed at least once.
+    assert all(v >= 1.0 for v in sharing.values())
+    # High-locality traffic shares sub-traversals more than low-locality
+    # (the paper reports ~25% lower sharing in low locality).
+    high_avg = sum(
+        sharing[(n, "high")] for n in PIPELINE_NAMES
+    ) / len(PIPELINE_NAMES)
+    low_avg = sum(
+        sharing[(n, "low")] for n in PIPELINE_NAMES
+    ) / len(PIPELINE_NAMES)
+    assert high_avg > low_avg
+    # Real reuse happens: some pipeline produces the average sub-traversal
+    # well over once.
+    assert max(sharing.values()) > 1.5

@@ -1,0 +1,28 @@
+"""Fig. 13: slow-path CPU breakdown under Gigaflow."""
+
+from repro.experiments import fig13_cpu_breakdown
+from conftest import run_once
+
+
+def test_fig13_cpu_breakdown(benchmark, scale):
+    rows = run_once(benchmark, fig13_cpu_breakdown, scale)
+    print("\npipeline  pipeline-cyc  partition-cyc  rulegen-cyc  overhead")
+    for name, row in rows.items():
+        print(
+            f"{name:<9} {row.pipeline_cycles:12d} "
+            f"{row.partition_cycles:13d} {row.rulegen_cycles:11d} "
+            f"{row.overhead_fraction:8.1%}"
+        )
+
+    # Paper shape: partitioning + rule generation add measurable overhead
+    # on top of the userspace pipeline for every pipeline...
+    for name, row in rows.items():
+        assert row.overhead_fraction > 0.0
+        # ...bounded: even the largest pipelines stay below ~100% overhead
+        # (the paper reports up to 80% for OLS/ANT).
+        assert row.overhead_fraction < 1.2, name
+    # Larger pipelines pay relatively more than the smallest ones.
+    assert (
+        max(rows["OLS"].overhead_fraction, rows["ANT"].overhead_fraction)
+        > min(rows["OFD"].overhead_fraction, rows["PSC"].overhead_fraction)
+    )

@@ -1,0 +1,28 @@
+"""Fig. 14: cache misses vs. the number of Gigaflow tables (2-5)."""
+
+from repro.experiments import misses_by_k, sweep_table_counts
+from conftest import run_once
+
+
+def test_fig14_misses_vs_table_count(benchmark, scale):
+    points = run_once(
+        benchmark, sweep_table_counts,
+        ("OFD", "PSC", "OLS"), (2, 3, 4, 5), ("high",), scale,
+    )
+    print("\npipeline  K=2      K=3      K=4      K=5")
+    for name in ("OFD", "PSC", "OLS"):
+        by_k = misses_by_k(points, name)
+        print(f"{name:<9} " + "  ".join(f"{by_k[k]:7d}" for k in (2, 3, 4, 5)))
+
+    for name in ("OFD", "PSC", "OLS"):
+        by_k = misses_by_k(points, name)
+        # More tables help, and K=5 clearly beats K=2.
+        assert by_k[5] < by_k[2] * 0.75
+    # Saturation (§6.3.1): the small pipelines exhaust their
+    # disjointness early — their K=4 -> K=5 gain is marginal compared to
+    # the early-K gains; the 30-table OLS keeps benefiting longest.
+    for name in ("OFD", "PSC"):
+        by_k = misses_by_k(points, name)
+        early_gain = by_k[2] - by_k[4]
+        late_gain = by_k[4] - by_k[5]
+        assert late_gain < early_gain / 2

@@ -1,0 +1,28 @@
+"""Fig. 15: cache entries vs. the number of Gigaflow tables (2-5)."""
+
+from repro.experiments import entries_by_k, sweep_table_counts
+from conftest import run_once
+
+
+def test_fig15_entries_vs_table_count(benchmark, scale):
+    points = run_once(
+        benchmark, sweep_table_counts,
+        ("PSC", "OLS"), (2, 3, 4, 5), ("high",), scale,
+    )
+    print("\npipeline  K=2      K=3      K=4      K=5")
+    for name in ("PSC", "OLS"):
+        by_k = entries_by_k(points, name)
+        print(f"{name:<9} " + "  ".join(f"{by_k[k]:7d}" for k in (2, 3, 4, 5)))
+
+    for name in ("PSC", "OLS"):
+        by_k = entries_by_k(points, name)
+        # With K=2 the cache is starved (per-table budget fixed) and
+        # churns; larger K relieves the pressure so that the peak entry
+        # count stops being capacity-bound.
+        capacity_2 = 2 * scale.gf_table_capacity
+        capacity_5 = 5 * scale.gf_table_capacity
+        assert by_k[2] <= capacity_2
+        assert by_k[5] <= capacity_5
+        # Occupancy *fraction* falls as tables are added (sharing means
+        # entry demand grows far slower than capacity).
+        assert by_k[5] / capacity_5 < by_k[2] / capacity_2

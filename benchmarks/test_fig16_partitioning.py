@@ -1,0 +1,25 @@
+"""Fig. 16: partitioning schemes — RND vs DP vs the ideal 1-1 mapping."""
+
+from repro.experiments import compare_partitioners
+from conftest import run_once
+
+
+def test_fig16_partitioning_schemes(benchmark, scale):
+    results = run_once(benchmark, compare_partitioners, "OLS", "high", scale)
+    print("\nscheme    misses   peak_entries  hit_rate")
+    for name in ("megaflow", "rnd", "dp", "1-1"):
+        r = results[name]
+        print(f"{name:<9} {r.misses:7d}  {r.peak_entries:12d}  "
+              f"{r.hit_rate:.4f}")
+
+    mf, rnd, dp, one = (
+        results["megaflow"], results["rnd"], results["dp"], results["1-1"],
+    )
+    # Paper shape: DP removes far more misses than RND...
+    assert dp.misses < rnd.misses
+    # ...and beats Megaflow soundly (89% fewer in the paper).
+    assert dp.misses < mf.misses
+    # The ideal 1-1 mapping is at most a little better on misses...
+    assert one.misses < mf.misses
+    # ...but pays with far more cache entries (2.8x in the paper).
+    assert one.peak_entries > dp.peak_entries * 1.5

@@ -1,0 +1,28 @@
+"""Fig. 17: software cache search — TSS vs Nuevomatch, both systems."""
+
+from repro.experiments import compare_search_algorithms
+from conftest import run_once
+
+
+def test_fig17_search_algorithms(benchmark, scale):
+    results = run_once(
+        benchmark, compare_search_algorithms, "PSC", "high", scale
+    )
+    print("\nconfig         avg-us   search-us  hit-rate")
+    for key in ("megaflow-tss", "megaflow-nm", "gigaflow-tss",
+                "gigaflow-nm"):
+        r = results[key]
+        print(f"{key:<14} {r.avg_latency_us:6.2f}   {r.search_us:8.2f}  "
+              f"{r.hit_rate:.4f}")
+
+    # Paper ordering (13.4 > 12.5 > 9.8 > 9.65 µs):
+    assert (results["megaflow-tss"].avg_latency_us
+            > results["megaflow-nm"].avg_latency_us)
+    assert (results["megaflow-nm"].avg_latency_us
+            > results["gigaflow-tss"].avg_latency_us)
+    assert (results["gigaflow-tss"].avg_latency_us
+            >= results["gigaflow-nm"].avg_latency_us)
+    # The point of §6.3.4: the search algorithm cannot recover the miss
+    # volume — Gigaflow's worst config beats Megaflow's best.
+    assert (results["gigaflow-tss"].hit_rate
+            > results["megaflow-nm"].hit_rate)

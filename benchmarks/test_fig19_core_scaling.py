@@ -1,0 +1,22 @@
+"""Fig. 19 (Appendix A): per-core slow-path miss load vs CPU cores."""
+
+from repro.experiments import core_scaling
+from conftest import run_once
+
+
+def test_fig19_core_scaling(benchmark, scale):
+    result = run_once(
+        benchmark, core_scaling, "PSC", "high", (1, 2, 4, 8), scale
+    )
+    print("\ncores  MF-misses/core  GF-misses/core")
+    for cores in (1, 2, 4, 8):
+        print(f"{cores:5d}  {result.megaflow_by_cores[cores]:14.1f}  "
+              f"{result.gigaflow_by_cores[cores]:14.1f}")
+
+    mf, gf = result.megaflow_by_cores, result.gigaflow_by_cores
+    # RSS spreads misses evenly: per-core load scales as 1/n for both.
+    for cores in (2, 4, 8):
+        assert mf[cores] == mf[1] / cores
+        assert gf[cores] == gf[1] / cores
+    # Gigaflow's lower total keeps it below Megaflow at every core count.
+    assert all(gf[n] < mf[n] for n in (1, 2, 4, 8))

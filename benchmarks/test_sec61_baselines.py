@@ -1,0 +1,27 @@
+"""§6.1/§6.3.6: all baseline configurations ranked by latency."""
+
+from repro.experiments import compare_baselines
+from conftest import run_once
+
+
+def test_sec61_baseline_configurations(benchmark, scale):
+    results = run_once(benchmark, compare_baselines, "PSC", "high", scale)
+    print("\nconfiguration                    hit-rate    avg-us")
+    ordered = sorted(results.values(), key=lambda r: r.avg_latency_us)
+    for r in ordered:
+        print(f"{r.config:<32} {r.hit_rate:.4f}  {r.avg_latency_us:9.2f}")
+
+    # The paper's ranking, §6.3.6: Gigaflow offload fastest, then
+    # Megaflow offload, DPDK host, DPDK ARM, kernel host, kernel ARM.
+    expected_order = [
+        "OVS/Gigaflow-Offload",
+        "OVS/Megaflow-Offload",
+        "OVS/DPDK (host)",
+        "OVS/DPDK (BlueField ARM)",
+        "OVS/Kernel (host)",
+        "OVS/Kernel (BlueField ARM)",
+    ]
+    assert [r.config for r in ordered] == expected_order
+    # The kernel paths are orders of magnitude slower than the offloads.
+    assert (results["OVS/Kernel (host)"].avg_latency_us
+            > 10 * results["OVS/Gigaflow-Offload"].avg_latency_us)

@@ -1,0 +1,36 @@
+"""§6.3.6: per-backend hit latency and revalidation speed."""
+
+from repro.experiments import hit_latency_table, revalidation_comparison
+from conftest import run_once
+
+
+def test_sec636_hit_latency_table(benchmark):
+    table = run_once(benchmark, hit_latency_table)
+    print("\nbackend        hit-us")
+    for backend, us in sorted(table.items(), key=lambda kv: kv[1]):
+        print(f"{backend:<14} {us:8.2f}")
+
+    # The paper's ordering: offload < DPDK host < DPDK ARM < kernel host
+    # < kernel ARM.
+    assert (table["fpga_offload"] < table["dpdk_host"]
+            < table["dpdk_arm"] < table["kernel_host"]
+            < table["kernel_arm"])
+
+
+def test_sec636_revalidation_speedup(benchmark, scale):
+    comparison = run_once(
+        benchmark, revalidation_comparison, "OLS", "high", scale
+    )
+    print(f"\nmegaflow: {comparison.megaflow_entries} entries, "
+          f"{comparison.megaflow_lookups} replays "
+          f"(~{comparison.megaflow_ms:.1f} ms)")
+    print(f"gigaflow: {comparison.gigaflow_entries} entries, "
+          f"{comparison.gigaflow_lookups} replays "
+          f"(~{comparison.gigaflow_ms:.1f} ms)")
+    print(f"speedup: {comparison.speedup:.2f}x")
+
+    # Paper: Gigaflow revalidates ~2x faster (527 ms vs 272 ms on OLS).
+    assert comparison.speedup > 1.5
+    # Nothing was stale (the pipeline did not change).
+    assert comparison.megaflow_evicted == 0
+    assert comparison.gigaflow_evicted == 0

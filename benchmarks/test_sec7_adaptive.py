@@ -1,0 +1,21 @@
+"""§7 future work: traffic-profile-guided fallback, implemented & measured."""
+
+from repro.experiments import adaptive_fallback
+from conftest import run_once
+
+
+def test_sec7_adaptive_fallback(benchmark, scale):
+    results = run_once(benchmark, adaptive_fallback, "PSC", scale)
+    print("\nlocality  system    hit_rate  misses")
+    for locality, row in results.items():
+        for name, r in row.items():
+            print(f"{locality:<9} {name:<9} {r.hit_rate:.4f}  {r.misses:6d}")
+
+    high, low = results["high"], results["low"]
+    # High locality: the adaptive cache never leaves DP mode, so it keeps
+    # plain Gigaflow's advantage over Megaflow.
+    assert high["adaptive"].hit_rate >= high["gigaflow"].hit_rate - 0.01
+    assert high["adaptive"].hit_rate > high["megaflow"].hit_rate
+    # Low locality: plain Gigaflow trails Megaflow (the §7 deficit); the
+    # adaptive variant closes part of that gap.
+    assert low["adaptive"].misses <= low["gigaflow"].misses

@@ -1,0 +1,18 @@
+"""Table 1: real-world pipelines — tables and unique traversals."""
+
+from repro.experiments import format_table1, table1, table1_matches_paper
+from conftest import run_once
+
+
+def test_table1_pipeline_inventory(benchmark):
+    rows = run_once(benchmark, table1)
+    print("\n" + format_table1())
+    # Exact reproduction: the specs encode the paper's Table 1 verbatim.
+    assert table1_matches_paper()
+    assert rows == {
+        "OFD": (10, 5),
+        "PSC": (7, 2),
+        "OLS": (30, 23),
+        "ANT": (22, 20),
+        "OTL": (8, 11),
+    }

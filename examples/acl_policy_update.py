@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Scenario: ACL policy pushes and cache revalidation (§4.3).
+
+An operator pushes a new deny rule into a live L2L3-ACL pipeline.  Cached
+entries derived from the old policy are now stale; the revalidator replays
+each entry's parent flow against the pipeline and evicts inconsistencies.
+Gigaflow only replays (and only evicts) the *sub-traversals* touching the
+changed table — its siblings survive and its cycle is ~2x cheaper than
+Megaflow's full-traversal replays (§6.3.6).
+
+Run:
+    python examples/acl_policy_update.py
+"""
+
+from repro import PSC, build_workload
+from repro.cache import MegaflowCache
+from repro.core import (
+    GigaflowCache,
+    GigaflowRevalidator,
+    MegaflowRevalidator,
+)
+from repro.flow import ActionList, Drop, TernaryMatch, prefix_mask
+from repro.pipeline import PipelineRule
+
+
+def main() -> None:
+    workload = build_workload(PSC, n_flows=1500, locality="high", seed=21)
+    pipeline = workload.pipeline
+
+    megaflow = MegaflowCache(capacity=10**6)
+    gigaflow = GigaflowCache(num_tables=4, table_capacity=10**6)
+    for pilot in workload.pilots:
+        megaflow.install_traversal(pilot.traversal, pipeline.start_table)
+        gigaflow.install_traversal(pilot.traversal)
+    print(f"installed: megaflow={megaflow.entry_count()} entries, "
+          f"gigaflow={gigaflow.entry_count()} entries "
+          f"({workload.n_flows} flows)\n")
+
+    print("=== revalidation with an unchanged pipeline ===")
+    mf_report = MegaflowRevalidator(pipeline, megaflow).revalidate()
+    gf_report = GigaflowRevalidator(pipeline, gigaflow).revalidate()
+    print(f"megaflow: {mf_report.lookups_performed} table replays, "
+          f"{mf_report.entries_evicted} evicted")
+    print(f"gigaflow: {gf_report.lookups_performed} table replays, "
+          f"{gf_report.entries_evicted} evicted")
+    print(f"replay-cost ratio: "
+          f"{mf_report.lookups_performed / gf_report.lookups_performed:.2f}x"
+          f" (paper: ~2x)\n")
+
+    print("=== operator pushes a deny-all-to-10.0.0.0/9 ACL rule ===")
+    deny = PipelineRule(
+        match=TernaryMatch.from_fields(
+            {"ip_src": 0x0A000000},
+            masks={"ip_src": prefix_mask(9)},
+        ),
+        priority=10_000,
+        actions=ActionList([Drop()]),
+    )
+    pipeline.install(5, deny)  # table 5 is PSC's ACL stage
+
+    mf_report = MegaflowRevalidator(pipeline, megaflow).revalidate()
+    gf_report = GigaflowRevalidator(pipeline, gigaflow).revalidate()
+    print(f"megaflow: evicted {mf_report.entries_evicted} of "
+          f"{mf_report.entries_checked} entries")
+    print(f"gigaflow: evicted {gf_report.entries_evicted} of "
+          f"{gf_report.entries_checked} rules "
+          f"(only sub-traversals through the ACL table)")
+    print(f"gigaflow entries surviving: {gigaflow.entry_count()}")
+
+    # The caches are consistent again: spot-check one affected flow.
+    victim = next(
+        p for p in workload.pilots
+        if deny.match.matches(p.flow)
+    )
+    fresh = pipeline.execute(victim.flow, record_stats=False)
+    result = gigaflow.lookup(victim.flow)
+    if result.hit:
+        assert result.actions.drops() == (
+            fresh.steps[-1].actions.drops()
+        ), "revalidated cache must agree with the pipeline"
+        print("\nspot check: cached verdict matches the new policy (drop)")
+    else:
+        print("\nspot check: stale entry evicted; flow heads to the "
+              "slow path for fresh rules")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,154 @@
+"""Cache interfaces and statistics shared by Microflow, Megaflow and Gigaflow."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field as dataclass_field
+from typing import List, Optional
+
+from ..flow.actions import ActionList
+from ..flow.key import FlowKey
+
+
+@dataclass
+class CacheStats:
+    """Aggregate counters every cache keeps.
+
+    ``hits``/``misses`` count lookups; ``insertions`` counts entries
+    actually added; ``rejected`` counts installs refused for capacity;
+    ``evictions`` counts removals (idle, LRU or revalidation).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    rejected: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when idle)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.lookups
+        return self.misses / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.rejected = 0
+        self.evictions = 0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(
+            self.hits, self.misses, self.insertions, self.rejected,
+            self.evictions,
+        )
+
+
+@dataclass
+class CacheResult:
+    """Outcome of a cache lookup.
+
+    Attributes:
+        hit: Whether the cache fully handled the packet.
+        actions: The actions the cache applied (meaningful on a hit).
+        output_port: Forwarding decision on a hit (``None`` for drops).
+        groups_probed: Classifier mask groups hashed — the software search
+            cost metric used by the latency model.
+        tables_hit: For multi-table caches, how many tables matched along
+            the way (diagnostic; 0 or 1 for single-table caches).
+    """
+
+    hit: bool
+    actions: Optional[ActionList] = None
+    output_port: Optional[int] = None
+    groups_probed: int = 0
+    tables_hit: int = 0
+
+
+class FlowCache(abc.ABC):
+    """Interface shared by all caches the simulator can drive."""
+
+    name: str = "cache"
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    @abc.abstractmethod
+    def lookup(self, flow: FlowKey, now: float = 0.0) -> CacheResult:
+        """Look a packet up; updates hit/miss counters."""
+
+    @abc.abstractmethod
+    def entry_count(self) -> int:
+        """Entries currently installed (across all tables)."""
+
+    @abc.abstractmethod
+    def capacity_total(self) -> int:
+        """Maximum entries the cache can hold (across all tables)."""
+
+    @abc.abstractmethod
+    def evict_idle(self, now: float, max_idle: float) -> int:
+        """Remove entries idle longer than ``max_idle``; returns count."""
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Drop all entries (stats are preserved)."""
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of capacity in use."""
+        capacity = self.capacity_total()
+        return self.entry_count() / capacity if capacity else 0.0
+
+
+@dataclass
+class LruTracker:
+    """Tiny helper tracking last-use times for idle/LRU eviction."""
+
+    last_used: dict = dataclass_field(default_factory=dict)
+
+    def touch(self, key, now: float) -> None:
+        self.last_used[key] = now
+
+    def forget(self, key) -> None:
+        self.last_used.pop(key, None)
+
+    def idle_keys(self, now: float, max_idle: float) -> List:
+        return [
+            key
+            for key, used in self.last_used.items()
+            if now - used > max_idle
+        ]
+
+    def lru_key(self):
+        """The least-recently-used key (None when empty)."""
+        best_key, best_time = None, None
+        for key, used in self.last_used.items():
+            if best_time is None or used < best_time:
+                best_key, best_time = key, used
+        return best_key
+
+    def clear(self) -> None:
+        self.last_used.clear()
+
+
+def actions_result(
+    actions: ActionList, groups_probed: int, tables_hit: int
+) -> CacheResult:
+    """Build a hit result from an entry's actions."""
+    return CacheResult(
+        hit=True,
+        actions=actions,
+        output_port=actions.output_port(),
+        groups_probed=groups_probed,
+        tables_hit=tables_hit,
+    )

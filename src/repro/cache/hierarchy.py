@@ -1,0 +1,100 @@
+"""The OVS cache hierarchy: Microflow → Megaflow → slow path (§2.1).
+
+Open vSwitch checks an exact-match Microflow cache first (temporal
+locality), then the wildcard Megaflow cache (spatial locality), and only
+then executes the multi-table pipeline.  This module composes the two
+baseline caches into that hierarchy; it is the software-only configuration
+SmartNIC offloads replace.
+"""
+
+from __future__ import annotations
+
+
+from ..flow.fields import DEFAULT_SCHEMA, FieldSchema
+from ..flow.key import FlowKey
+from ..pipeline.traversal import Traversal
+from .base import CacheResult, FlowCache
+from .megaflow import MegaflowCache, build_megaflow_entry
+from .microflow import MicroflowCache
+
+
+class CacheHierarchy(FlowCache):
+    """Microflow in front of Megaflow, with pass-through statistics.
+
+    A Microflow hit never consults the Megaflow cache; a Megaflow hit
+    promotes the exact flow into the Microflow cache (as OVS does); a miss
+    falls through to the caller's slow path, whose resulting traversal is
+    installed into both levels via :meth:`install_traversal`.
+    """
+
+    name = "hierarchy"
+
+    def __init__(
+        self,
+        microflow_capacity: int = 8192,
+        megaflow_capacity: int = 32768,
+        schema: FieldSchema = DEFAULT_SCHEMA,
+        start_table: int = 0,
+    ):
+        super().__init__()
+        self.microflow = MicroflowCache(microflow_capacity)
+        self.megaflow = MegaflowCache(megaflow_capacity, schema)
+        self.start_table = start_table
+
+    def lookup(self, flow: FlowKey, now: float = 0.0) -> CacheResult:
+        first = self.microflow.lookup(flow, now)
+        if first.hit:
+            self.stats.hits += 1
+            return first
+        second = self.megaflow.lookup(flow, now)
+        if second.hit:
+            # Promote into the exact-match level (OVS's EMC insert).
+            self.microflow.install(flow, second.actions, now)
+            self.stats.hits += 1
+            return CacheResult(
+                hit=True,
+                actions=second.actions,
+                output_port=second.output_port,
+                groups_probed=first.groups_probed + second.groups_probed,
+                tables_hit=2,
+            )
+        self.stats.misses += 1
+        return CacheResult(
+            hit=False,
+            groups_probed=first.groups_probed + second.groups_probed,
+        )
+
+    def install_traversal(
+        self, traversal: Traversal, generation: int = 0, now: float = 0.0
+    ) -> bool:
+        entry = build_megaflow_entry(
+            traversal, self.start_table, generation, now
+        )
+        installed = self.megaflow.install(entry, now)
+        self.microflow.install(traversal.initial_flow, entry.actions, now)
+        return installed
+
+    # -- FlowCache bookkeeping -----------------------------------------------
+
+    def entry_count(self) -> int:
+        return self.microflow.entry_count() + self.megaflow.entry_count()
+
+    def capacity_total(self) -> int:
+        return (
+            self.microflow.capacity_total()
+            + self.megaflow.capacity_total()
+        )
+
+    def evict_idle(self, now: float, max_idle: float) -> int:
+        return self.microflow.evict_idle(now, max_idle) + \
+            self.megaflow.evict_idle(now, max_idle)
+
+    def clear(self) -> None:
+        self.microflow.clear()
+        self.megaflow.clear()
+
+    @property
+    def microflow_hit_fraction(self) -> float:
+        """Share of hierarchy hits served by the exact-match level."""
+        total = self.stats.hits
+        return self.microflow.stats.hits / total if total else 0.0

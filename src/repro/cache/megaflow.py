@@ -1,0 +1,217 @@
+"""Megaflow cache: the single-table wildcard cache baseline (§2.1, Fig. 1a).
+
+A Megaflow entry collapses an entire traversal into one rule: its match is
+the initial flow masked by the union of every per-table wildcard (plus
+dependency bits), and its actions are the traversal's *commit* — the net
+header rewrite plus the terminal forward/drop.  OVS's dependency masking
+guarantees entries never overlap, so the cache needs no priorities.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional
+
+from ..classify.tss import TupleSpaceClassifier
+from ..flow.actions import ActionList
+from ..flow.fields import DEFAULT_SCHEMA, FieldSchema
+from ..flow.key import FlowKey
+from ..flow.match import TernaryMatch
+from ..pipeline.traversal import Traversal
+from .base import CacheResult, FlowCache, LruTracker, actions_result
+
+_entry_ids = itertools.count()
+
+
+class MegaflowEntry:
+    """One cached traversal."""
+
+    __slots__ = (
+        "match",
+        "priority",
+        "actions",
+        "parent_flow",
+        "start_table",
+        "length",
+        "generation",
+        "last_used",
+        "rule_id",
+    )
+
+    def __init__(
+        self,
+        match: TernaryMatch,
+        actions: ActionList,
+        parent_flow: FlowKey,
+        start_table: int,
+        length: int,
+        generation: int = 0,
+        now: float = 0.0,
+    ):
+        self.match = match
+        self.priority = 0  # entries are non-overlapping by construction
+        self.actions = actions
+        self.parent_flow = parent_flow
+        self.start_table = start_table
+        self.length = length
+        self.generation = generation
+        self.last_used = now
+        self.rule_id = next(_entry_ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"MegaflowEntry(id={self.rule_id}, len={self.length}, "
+            f"{self.match!r} -> {self.actions!r})"
+        )
+
+
+def build_megaflow_entry(
+    traversal: Traversal,
+    start_table: int,
+    generation: int = 0,
+    now: float = 0.0,
+) -> MegaflowEntry:
+    """Collapse a traversal into a single cache entry (the paper's K=1)."""
+    initial = traversal.initial_flow
+    wildcard = traversal.megaflow_wildcard()
+    match = TernaryMatch(initial, wildcard)
+    actions = ActionList.commit(
+        initial, traversal.final_flow, traversal.steps[-1].actions
+    )
+    return MegaflowEntry(
+        match=match,
+        actions=actions,
+        parent_flow=initial,
+        start_table=start_table,
+        length=len(traversal),
+        generation=generation,
+        now=now,
+    )
+
+
+class MegaflowCache(FlowCache):
+    """A capacity-bounded single-table wildcard cache.
+
+    Attributes:
+        capacity: Maximum entries (the paper's baseline uses 32K).
+        eviction: ``"lru"`` evicts the least-recently-used entry when full
+            (OVS revalidator behaviour under pressure); ``"reject"`` refuses
+            the install instead.
+    """
+
+    name = "megaflow"
+
+    def __init__(
+        self,
+        capacity: int = 32768,
+        schema: FieldSchema = DEFAULT_SCHEMA,
+        eviction: str = "lru",
+    ):
+        super().__init__()
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if eviction not in ("lru", "reject"):
+            raise ValueError(f"unknown eviction policy {eviction!r}")
+        self.capacity = capacity
+        self.eviction = eviction
+        self.schema = schema
+        self._classifier: TupleSpaceClassifier[MegaflowEntry] = (
+            TupleSpaceClassifier(schema)
+        )
+        self._by_match: dict = {}
+        self._lru = LruTracker()
+
+    # -- FlowCache interface ------------------------------------------------------
+
+    def lookup(self, flow: FlowKey, now: float = 0.0) -> CacheResult:
+        result = self._classifier.lookup(flow)
+        if result.rule is None:
+            self.stats.misses += 1
+            return CacheResult(hit=False, groups_probed=result.groups_probed)
+        entry = result.rule
+        entry.last_used = now
+        self._lru.touch(entry.rule_id, now)
+        self.stats.hits += 1
+        return actions_result(
+            entry.actions, groups_probed=result.groups_probed, tables_hit=1
+        )
+
+    def install(self, entry: MegaflowEntry, now: float = 0.0) -> bool:
+        """Install an entry; returns False when rejected for capacity."""
+        existing = self._by_match.get(entry.match)
+        if existing is not None:
+            # Refresh in place (same match predicate — same traversal).
+            existing.last_used = now
+            existing.actions = entry.actions
+            existing.generation = entry.generation
+            self._lru.touch(existing.rule_id, now)
+            return True
+        if len(self._by_match) >= self.capacity:
+            if self.eviction == "reject":
+                self.stats.rejected += 1
+                return False
+            victim_id = self._lru.lru_key()
+            if victim_id is None:
+                self.stats.rejected += 1
+                return False
+            victim = next(
+                e for e in self._by_match.values() if e.rule_id == victim_id
+            )
+            self.remove(victim)
+        entry.last_used = now
+        self._classifier.insert(entry)
+        self._by_match[entry.match] = entry
+        self._lru.touch(entry.rule_id, now)
+        self.stats.insertions += 1
+        return True
+
+    def install_traversal(
+        self,
+        traversal: Traversal,
+        start_table: int,
+        generation: int = 0,
+        now: float = 0.0,
+    ) -> bool:
+        """Convenience: build and install the entry for a traversal."""
+        entry = build_megaflow_entry(traversal, start_table, generation, now)
+        return self.install(entry, now)
+
+    def remove(self, entry: MegaflowEntry) -> None:
+        self._classifier.remove(entry)
+        del self._by_match[entry.match]
+        self._lru.forget(entry.rule_id)
+        self.stats.evictions += 1
+
+    def entry_count(self) -> int:
+        return len(self._by_match)
+
+    def capacity_total(self) -> int:
+        return self.capacity
+
+    def evict_idle(self, now: float, max_idle: float) -> int:
+        stale = [
+            entry
+            for entry in self._by_match.values()
+            if now - entry.last_used > max_idle
+        ]
+        for entry in stale:
+            self.remove(entry)
+        return len(stale)
+
+    def clear(self) -> None:
+        self._classifier.clear()
+        self._by_match.clear()
+        self._lru.clear()
+
+    # -- introspection ----------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[MegaflowEntry]:
+        return iter(self._by_match.values())
+
+    @property
+    def mask_group_count(self) -> int:
+        """Distinct masks in the cache — TSS's per-lookup cost driver."""
+        return self._classifier.group_count
+
+    def find(self, match: TernaryMatch) -> Optional[MegaflowEntry]:
+        return self._by_match.get(match)

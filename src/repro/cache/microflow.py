@@ -1,0 +1,83 @@
+"""Microflow cache: OVS's exact-match first-level cache (EMC).
+
+One entry per exact flow signature; captures temporal locality only (§2.1).
+Provided for completeness and for the cache-hierarchy example; the paper's
+evaluation compares Megaflow vs. Gigaflow.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..flow.actions import ActionList
+from ..flow.key import FlowKey
+from .base import CacheResult, FlowCache, actions_result
+
+
+class MicroflowCache(FlowCache):
+    """An exact-match LRU cache from flow signature to actions."""
+
+    name = "microflow"
+
+    def __init__(self, capacity: int = 8192):
+        super().__init__()
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[int, ...], _Entry]" = OrderedDict()
+
+    # -- FlowCache interface -------------------------------------------------
+
+    def lookup(self, flow: FlowKey, now: float = 0.0) -> CacheResult:
+        key = flow.values
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return CacheResult(hit=False, groups_probed=1)
+        self._entries.move_to_end(key)
+        entry.last_used = now
+        self.stats.hits += 1
+        return actions_result(entry.actions, groups_probed=1, tables_hit=1)
+
+    def install(self, flow: FlowKey, actions: ActionList, now: float = 0.0) -> bool:
+        """Insert (or refresh) an exact-match entry, evicting LRU if full."""
+        key = flow.values
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key].actions = actions
+            self._entries[key].last_used = now
+            return True
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = _Entry(actions, now)
+        self.stats.insertions += 1
+        return True
+
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+    def capacity_total(self) -> int:
+        return self.capacity
+
+    def evict_idle(self, now: float, max_idle: float) -> int:
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if now - entry.last_used > max_idle
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.stats.evictions += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class _Entry:
+    __slots__ = ("actions", "last_used")
+
+    def __init__(self, actions: ActionList, now: float):
+        self.actions = actions
+        self.last_used = now

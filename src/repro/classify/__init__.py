@@ -1,0 +1,20 @@
+"""Packet classifiers shared by pipeline tables and caches."""
+
+from .trie import PrefixTrie, mask_to_prefix_len
+from .tss import (
+    DEFAULT_TRIE_FIELDS,
+    STAGE_LAYERS,
+    LookupResult,
+    TupleSpaceClassifier,
+)
+from .nuevomatch import NuevoMatchClassifier
+
+__all__ = [
+    "DEFAULT_TRIE_FIELDS",
+    "LookupResult",
+    "NuevoMatchClassifier",
+    "PrefixTrie",
+    "STAGE_LAYERS",
+    "TupleSpaceClassifier",
+    "mask_to_prefix_len",
+]

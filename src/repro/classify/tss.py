@@ -1,0 +1,344 @@
+"""Tuple Space Search (TSS) — the classifier used throughout the system.
+
+TSS [Srinivasan et al., SIGCOMM '99] groups rules by their mask tuple; a
+lookup hashes the packet once per distinct mask.  This is the classifier
+Open vSwitch uses for both its OpenFlow tables and its Megaflow cache
+[Pfaff et al., NSDI '15], and the paper's software baseline (§6.3.4).
+
+This implementation reproduces the two OVS refinements that matter for
+cache-entry quality:
+
+* **Staged lookup** — each group's mask is split into cumulative stages
+  (port → L2 → L3 → L4).  A lookup that fails at stage *s* only
+  un-wildcards the fields of stages ``<= s``, keeping dependency masks
+  tight.
+* **Prefix tracking** — IP fields with prefix masks are additionally
+  indexed in a :class:`~repro.classify.trie.PrefixTrie`; the trie yields
+  the minimal number of leading address bits that distinguish the packet
+  from every stored prefix (the paper's §4.2.3 example).
+
+The classifier is generic over any rule type exposing ``match``
+(:class:`~repro.flow.match.TernaryMatch`) and ``priority``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    Generic,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from ..flow.fields import FieldSchema
+from ..flow.key import FlowKey
+from ..flow.wildcard import Wildcard
+from .trie import PrefixTrie, mask_to_prefix_len
+
+#: Cumulative staged-lookup layers, in probe order.
+STAGE_LAYERS: Tuple[Tuple[str, ...], ...] = (
+    ("port",),
+    ("port", "l2"),
+    ("port", "l2", "l3"),
+    ("port", "l2", "l3", "l4"),
+)
+
+#: Fields indexed by prefix tries when their masks are prefix-shaped.
+DEFAULT_TRIE_FIELDS: Tuple[str, ...] = ("ip_src", "ip_dst")
+
+RuleT = TypeVar("RuleT")
+
+
+@dataclass
+class LookupResult(Generic[RuleT]):
+    """Outcome of a classifier lookup.
+
+    Attributes:
+        rule: The winning rule, or ``None`` on a miss.
+        wildcard: When unwildcarding was requested, the header bits the
+            lookup *examined* — the matched rule's own mask plus every bit
+            needed to rule out higher-priority rules.  ``None`` otherwise.
+        groups_probed: Number of mask groups hashed (the classic TSS cost
+            metric ``O(M)``; feeds the CPU cost model).
+    """
+
+    rule: Optional[RuleT]
+    wildcard: Optional[Wildcard] = None
+    groups_probed: int = 0
+
+
+_group_seq = iter(range(1 << 62))
+
+
+class _Group(Generic[RuleT]):
+    """All rules sharing one mask tuple."""
+
+    __slots__ = (
+        "mask",
+        "stage_masks",
+        "stage_sets",
+        "rules",
+        "max_priority",
+        "trie_prefix_fields",
+        "seq",
+    )
+
+    def __init__(
+        self,
+        mask: Tuple[int, ...],
+        stage_masks: Sequence[Tuple[int, ...]],
+        trie_prefix_fields: Tuple[int, ...],
+    ):
+        self.seq = next(_group_seq)
+        self.mask = mask
+        #: Cumulative mask tuples, one per active stage (last == full mask).
+        self.stage_masks: Tuple[Tuple[int, ...], ...] = tuple(stage_masks)
+        #: Per stage, the set of masked key prefixes present in the group.
+        self.stage_sets: List[set] = [set() for _ in self.stage_masks]
+        #: Full masked key -> rules, best priority first.
+        self.rules: Dict[Tuple[int, ...], List[RuleT]] = {}
+        self.max_priority = 0
+        #: Indices of trie fields whose mask here is prefix-shaped.
+        self.trie_prefix_fields = trie_prefix_fields
+
+    def recompute_max_priority(self) -> None:
+        self.max_priority = max(
+            (rules[0].priority for rules in self.rules.values()),
+            default=0,
+        )
+
+    def __len__(self) -> int:
+        return sum(len(rules) for rules in self.rules.values())
+
+
+class TupleSpaceClassifier(Generic[RuleT]):
+    """A priority-aware TSS classifier with staged lookup and prefix tries."""
+
+    def __init__(
+        self,
+        schema: FieldSchema,
+        trie_fields: Sequence[str] = DEFAULT_TRIE_FIELDS,
+        staged: bool = True,
+    ):
+        self.schema = schema
+        self.staged = staged
+        self._groups: Dict[Tuple[int, ...], _Group[RuleT]] = {}
+        self._ordered: List[_Group[RuleT]] = []
+        self._order_dirty = False
+        self._size = 0
+        self._trie_fields: Tuple[int, ...] = tuple(
+            schema.index_of(name) for name in trie_fields if name in schema
+        )
+        self._tries: Dict[int, PrefixTrie] = {
+            index: PrefixTrie(schema[index].width)
+            for index in self._trie_fields
+        }
+        # Precompute, per stage, which field indices belong to it.
+        self._stage_fields: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(
+                i for i, f in enumerate(schema) if f.layer in layers
+            )
+            for layers in STAGE_LAYERS
+        )
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[RuleT]:
+        for group in self._groups.values():
+            for rules in group.rules.values():
+                yield from rules
+
+    @property
+    def group_count(self) -> int:
+        """Number of distinct mask tuples (TSS's ``M``)."""
+        return len(self._groups)
+
+    # -- mutation -----------------------------------------------------------------
+
+    def insert(self, rule: RuleT) -> None:
+        match = rule.match
+        mask = match.mask_tuple
+        group = self._groups.get(mask)
+        if group is None:
+            group = self._make_group(mask)
+            self._groups[mask] = group
+            self._ordered.append(group)
+        key = match.canonical_key
+        bucket = group.rules.setdefault(key, [])
+        bucket.append(rule)
+        bucket.sort(key=lambda r: (-r.priority, getattr(r, "rule_id", 0)))
+        for stage_set, stage_mask in zip(group.stage_sets, group.stage_masks):
+            stage_set.add(tuple(k & m for k, m in zip(key, stage_mask)))
+        if rule.priority > group.max_priority:
+            group.max_priority = rule.priority
+        self._order_dirty = True
+        self._size += 1
+        self._trie_insert(match)
+
+    def remove(self, rule: RuleT) -> None:
+        match = rule.match
+        mask = match.mask_tuple
+        group = self._groups.get(mask)
+        if group is None:
+            raise KeyError(f"rule not present: {rule!r}")
+        key = match.canonical_key
+        bucket = group.rules.get(key)
+        if not bucket or rule not in bucket:
+            raise KeyError(f"rule not present: {rule!r}")
+        bucket.remove(rule)
+        if not bucket:
+            del group.rules[key]
+        self._size -= 1
+        self._trie_remove(match)
+        if not group.rules:
+            del self._groups[mask]
+            self._ordered.remove(group)
+        else:
+            self._rebuild_stage_sets(group)
+            group.recompute_max_priority()
+            self._order_dirty = True
+
+    def clear(self) -> None:
+        self._groups.clear()
+        self._ordered.clear()
+        self._size = 0
+        for index in self._trie_fields:
+            self._tries[index] = PrefixTrie(self.schema[index].width)
+
+    # -- lookup --------------------------------------------------------------------
+
+    def lookup(
+        self, flow: FlowKey, unwildcard: bool = False
+    ) -> LookupResult[RuleT]:
+        """Find the highest-priority matching rule.
+
+        With ``unwildcard=True`` the result carries the dependency wildcard:
+        the union of the matched rule's mask and the bits examined while
+        ruling out every group that could have held a higher-priority match.
+        """
+        if self._order_dirty:
+            self._ordered.sort(key=lambda g: (-g.max_priority, g.seq))
+            self._order_dirty = False
+
+        values = flow.values
+        best: Optional[RuleT] = None
+        best_priority = -1
+        probed = 0
+        acc: Optional[List[int]] = [0] * len(self.schema) if unwildcard else None
+        trie_masks: Dict[int, int] = {}
+        if unwildcard:
+            for index, trie in self._tries.items():
+                if len(trie):
+                    trie_masks[index] = trie.mask_for(values[index])
+
+        for group in self._ordered:
+            if group.max_priority <= best_priority:
+                break
+            probed += 1
+            matched_key = self._probe_group(group, values, acc, trie_masks)
+            if matched_key is None:
+                continue
+            candidate = group.rules[matched_key][0]
+            if candidate.priority > best_priority:
+                best = candidate
+                best_priority = candidate.priority
+
+        wildcard = None
+        if unwildcard:
+            wildcard = Wildcard(self.schema, acc)
+        return LookupResult(best, wildcard, probed)
+
+    # -- internals --------------------------------------------------------------------
+
+    def _make_group(self, mask: Tuple[int, ...]) -> _Group[RuleT]:
+        stage_masks: List[Tuple[int, ...]] = []
+        if self.staged:
+            previous: Optional[Tuple[int, ...]] = None
+            for fields in self._stage_fields:
+                field_set = set(fields)
+                stage_mask = tuple(
+                    m if i in field_set else 0 for i, m in enumerate(mask)
+                )
+                if stage_mask != previous and any(stage_mask):
+                    stage_masks.append(stage_mask)
+                    previous = stage_mask
+        if not stage_masks or stage_masks[-1] != mask:
+            stage_masks.append(mask)
+        trie_prefix_fields = tuple(
+            index
+            for index in self._trie_fields
+            if mask[index]
+            and mask_to_prefix_len(mask[index], self.schema[index].width)
+            is not None
+        )
+        return _Group(mask, stage_masks, trie_prefix_fields)
+
+    def _probe_group(
+        self,
+        group: _Group[RuleT],
+        values: Tuple[int, ...],
+        acc: Optional[List[int]],
+        trie_masks: Dict[int, int],
+    ) -> Optional[Tuple[int, ...]]:
+        """Probe one group stage by stage.
+
+        Returns the full masked key on a hit.  When ``acc`` is not None,
+        accumulates the bits this probe examined: on a miss at stage *s*,
+        the cumulative stage-*s* mask; on a hit, the full group mask.  For
+        prefix-shaped trie fields the (tight) trie mask replaces the raw
+        field mask.
+        """
+        stage_masks = group.stage_masks
+        examined = stage_masks[-1]
+        hit_key: Optional[Tuple[int, ...]] = None
+        for stage_mask, stage_set in zip(stage_masks, group.stage_sets):
+            key = tuple(v & m for v, m in zip(values, stage_mask))
+            if key not in stage_set:
+                examined = stage_mask
+                break
+        else:
+            hit_key = key  # last computed key uses the full mask
+        if acc is not None:
+            trie_prefix = group.trie_prefix_fields
+            for i, mask in enumerate(examined):
+                if not mask:
+                    continue
+                if i in trie_prefix and i in trie_masks:
+                    acc[i] |= trie_masks[i]
+                else:
+                    acc[i] |= mask
+        return hit_key
+
+    def _rebuild_stage_sets(self, group: _Group[RuleT]) -> None:
+        group.stage_sets = [set() for _ in group.stage_masks]
+        for key in group.rules:
+            for stage_set, stage_mask in zip(
+                group.stage_sets, group.stage_masks
+            ):
+                stage_set.add(tuple(k & m for k, m in zip(key, stage_mask)))
+
+    def _trie_insert(self, match) -> None:
+        for index in self._trie_fields:
+            mask = match.mask_tuple[index]
+            if not mask:
+                continue
+            plen = mask_to_prefix_len(mask, self.schema[index].width)
+            if plen is not None:
+                self._tries[index].insert(match.canonical_key[index], plen)
+
+    def _trie_remove(self, match) -> None:
+        for index in self._trie_fields:
+            mask = match.mask_tuple[index]
+            if not mask:
+                continue
+            plen = mask_to_prefix_len(mask, self.schema[index].width)
+            if plen is not None:
+                self._tries[index].remove(match.canonical_key[index], plen)

@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+pipelines
+    List the Table 1 pipeline specs.
+compare
+    Run Megaflow vs Gigaflow on one pipeline and print the comparison.
+sweep
+    Fig. 3/14-style sweep of the Gigaflow table count.
+coverage
+    Table 2-style rule-space coverage for one pipeline.
+
+For the full per-figure report, run ``examples/reproduce_all.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import (
+    ExperimentScale,
+    format_table1,
+    format_table2,
+    run_pair,
+    sweep_tables,
+    table2_coverage,
+)
+from .pipeline.library import PIPELINES
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--flows", type=int, default=3000,
+        help="unique flow classes (default 3000)",
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=None,
+        help="total cache entries for both systems (default flows/3)",
+    )
+    parser.add_argument(
+        "--locality", choices=("high", "low"), default="high",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _scale_from(args: argparse.Namespace) -> ExperimentScale:
+    capacity = args.capacity or max(args.flows // 3, 8)
+    return ExperimentScale(
+        n_flows=args.flows, cache_capacity=capacity, seed=args.seed
+    )
+
+
+def cmd_pipelines(_args: argparse.Namespace) -> int:
+    print(format_table1())
+    print()
+    for name, spec in sorted(PIPELINES.items()):
+        print(f"{name}: {spec.description}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    pair = run_pair(args.pipeline.upper(), args.locality, scale)
+    print(f"{args.pipeline.upper()} ({args.locality} locality, "
+          f"{scale.n_flows} flows, {scale.cache_capacity} entries)\n")
+    for result in (pair.megaflow, pair.gigaflow):
+        print(result.summary())
+    print(f"\nhit-rate gain: {pair.hit_rate_gain:+.2%}")
+    print(f"miss reduction: {pair.miss_reduction:.1%}")
+    print(f"entry reduction: {pair.entry_reduction:.1%}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    points = sweep_tables(
+        args.pipeline.upper(), tuple(args.tables), args.locality, scale
+    )
+    print(f"{'K':>3}{'misses':>9}{'hit rate':>10}{'entries':>9}"
+          f"{'coverage':>12}")
+    for point in points:
+        print(f"{point.k_tables:>3}{point.misses:>9}"
+              f"{point.hit_rate:>10.4f}{point.peak_entries:>9}"
+              f"{point.coverage:>12}")
+    return 0
+
+
+def cmd_coverage(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    rows = table2_coverage(
+        pipelines=(args.pipeline.upper(),), locality=args.locality,
+        scale=scale,
+    )
+    print(format_table2(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Gigaflow (ASPLOS 2025) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("pipelines", help="list the Table 1 pipelines")
+
+    compare = sub.add_parser(
+        "compare", help="Megaflow vs Gigaflow on one pipeline"
+    )
+    compare.add_argument("pipeline", choices=[p.lower() for p in PIPELINES]
+                         + list(PIPELINES))
+    _add_scale_arguments(compare)
+
+    sweep = sub.add_parser("sweep", help="Gigaflow table-count sweep")
+    sweep.add_argument("pipeline", choices=[p.lower() for p in PIPELINES]
+                       + list(PIPELINES))
+    sweep.add_argument(
+        "--tables", type=int, nargs="+", default=[1, 2, 3, 4],
+    )
+    _add_scale_arguments(sweep)
+
+    coverage = sub.add_parser(
+        "coverage", help="Table 2 rule-space coverage"
+    )
+    coverage.add_argument("pipeline",
+                          choices=[p.lower() for p in PIPELINES]
+                          + list(PIPELINES))
+    _add_scale_arguments(coverage)
+    return parser
+
+
+_COMMANDS = {
+    "pipelines": cmd_pipelines,
+    "compare": cmd_compare,
+    "sweep": cmd_sweep,
+    "coverage": cmd_coverage,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Gigaflow core: LTM tables, partitioning, rule generation, coverage."""
+
+from .ltm import TAG_DONE, LtmRule, LtmTable
+from .partition import (
+    Partition,
+    Partitioner,
+    RandomPartitioner,
+    disjoint_boundaries,
+    disjoint_partition,
+    megaflow_partition,
+    one_to_one_partition,
+    partition_score,
+    partitioner_by_name,
+    segment_score,
+    step_field_sets,
+)
+from .rulegen import build_ltm_rule, build_ltm_rules
+from .gigaflow import GigaflowCache, InstallOutcome
+from .adaptive import AdaptiveConfig, AdaptiveGigaflowCache
+from .validate import (
+    CacheInvariantError,
+    ChainReport,
+    chain_report,
+    validate_cache,
+)
+from .coverage import (
+    SatisfiableCoverage,
+    chain_satisfiable,
+    coverage,
+    coverage_ratio,
+    estimate_satisfiable_coverage,
+    megaflow_coverage,
+)
+from .revalidation import (
+    GigaflowRevalidator,
+    MegaflowRevalidator,
+    RevalidationReport,
+    sweep_idle,
+)
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveGigaflowCache",
+    "CacheInvariantError",
+    "ChainReport",
+    "GigaflowCache",
+    "chain_report",
+    "validate_cache",
+    "GigaflowRevalidator",
+    "InstallOutcome",
+    "LtmRule",
+    "LtmTable",
+    "MegaflowRevalidator",
+    "Partition",
+    "Partitioner",
+    "RandomPartitioner",
+    "RevalidationReport",
+    "SatisfiableCoverage",
+    "TAG_DONE",
+    "chain_satisfiable",
+    "estimate_satisfiable_coverage",
+    "build_ltm_rule",
+    "build_ltm_rules",
+    "coverage",
+    "coverage_ratio",
+    "disjoint_boundaries",
+    "disjoint_partition",
+    "megaflow_coverage",
+    "megaflow_partition",
+    "one_to_one_partition",
+    "partition_score",
+    "partitioner_by_name",
+    "segment_score",
+    "step_field_sets",
+    "sweep_idle",
+]

@@ -1,0 +1,138 @@
+"""Traffic-profile-guided Gigaflow (§7, "Limitations & Future Work").
+
+The paper notes that in low-locality environments Gigaflow may
+underperform Megaflow because it relies on the pipeline alone to find
+sharing opportunities, and proposes profile-guided optimisation: sample
+the traffic, and when sub-traversal sharing is scarce, fall back to
+Megaflow-style (single-segment) entries to preserve baseline behaviour.
+
+:class:`AdaptiveGigaflowCache` implements that proposal.  It monitors the
+reuse rate of freshly-installed sub-traversals over sliding windows and
+switches the active partitioner between disjoint partitioning (sharing
+pays for the extra per-flow entries) and single-segment Megaflow mode
+(it does not).  Switching is hysteretic so the cache does not flap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..flow.fields import DEFAULT_SCHEMA, FieldSchema
+from ..pipeline.traversal import Traversal
+from .gigaflow import GigaflowCache, InstallOutcome
+from .partition import disjoint_partition, megaflow_partition
+
+
+@dataclass
+class AdaptiveConfig:
+    """Hysteresis knobs for profile-guided mode switching.
+
+    Attributes:
+        window: Installs per observation window.
+        low_watermark: Switch to Megaflow mode when the window's sharing
+            rate (reused rules / generated rules) falls below this.
+        high_watermark: Switch back to disjoint partitioning when the
+            probe sharing rate rises above this.
+        probe_fraction: While in Megaflow mode, this fraction of installs
+            is still partitioned (the paper's periodic sampling) so the
+            cache can detect returning locality.
+    """
+
+    window: int = 200
+    low_watermark: float = 0.25
+    high_watermark: float = 0.40
+    probe_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low_watermark <= self.high_watermark <= 1.0:
+            raise ValueError(
+                "need 0 <= low_watermark <= high_watermark <= 1"
+            )
+        if self.window < 1:
+            raise ValueError("window must be positive")
+        if not 0.0 < self.probe_fraction <= 1.0:
+            raise ValueError("probe_fraction must be in (0, 1]")
+
+
+class AdaptiveGigaflowCache(GigaflowCache):
+    """A Gigaflow cache that degrades to Megaflow entries when the
+    traffic offers no sub-traversal sharing."""
+
+    name = "gigaflow-adaptive"
+
+    def __init__(
+        self,
+        num_tables: int = 4,
+        table_capacity: int = 8192,
+        schema: FieldSchema = DEFAULT_SCHEMA,
+        start_tag: int = 0,
+        config: AdaptiveConfig = AdaptiveConfig(),
+        **kwargs,
+    ):
+        super().__init__(
+            num_tables=num_tables,
+            table_capacity=table_capacity,
+            schema=schema,
+            start_tag=start_tag,
+            partitioner=disjoint_partition,
+            **kwargs,
+        )
+        self.config = config
+        self.megaflow_mode = False
+        self.mode_switches = 0
+        self._window_generated = 0
+        self._window_reused = 0
+        self._installs = 0
+
+    # -- the profile-guided install path -----------------------------------------
+
+    def install_traversal(
+        self,
+        traversal: Traversal,
+        generation: int = 0,
+        now: float = 0.0,
+    ) -> InstallOutcome:
+        self._installs += 1
+        probing = (
+            self.megaflow_mode
+            and (self._installs % max(1, round(1 / self.config.probe_fraction))
+                 == 0)
+        )
+        use_partitioning = not self.megaflow_mode or probing
+
+        available = sum(1 for t in self.tables if not t.is_full)
+        max_parts = min(len(self.tables), max(available, 1))
+        if use_partitioning:
+            partition = disjoint_partition(traversal, max_parts)
+        else:
+            partition = megaflow_partition(traversal)
+        from .rulegen import build_ltm_rules
+
+        rules = build_ltm_rules(partition, generation, now)
+        outcome = self.install_rules(rules)
+
+        # Only partitioned installs inform the sharing estimate.
+        if use_partitioning:
+            self._window_generated += len(rules)
+            self._window_reused += outcome.reused
+            if self._window_generated >= self.config.window:
+                self._update_mode()
+        return outcome
+
+    def _update_mode(self) -> None:
+        sharing = self._window_reused / self._window_generated
+        if not self.megaflow_mode and sharing < self.config.low_watermark:
+            self.megaflow_mode = True
+            self.mode_switches += 1
+        elif self.megaflow_mode and sharing > self.config.high_watermark:
+            self.megaflow_mode = False
+            self.mode_switches += 1
+        self._window_generated = 0
+        self._window_reused = 0
+
+    @property
+    def observed_sharing_rate(self) -> float:
+        """Sharing rate of the current (incomplete) window."""
+        if not self._window_generated:
+            return 0.0
+        return self._window_reused / self._window_generated

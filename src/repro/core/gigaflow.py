@@ -1,0 +1,288 @@
+"""The Gigaflow cache: K feed-forward LTM tables on the SmartNIC (§4).
+
+Lookup chains a packet through the tables in order, carrying the table tag
+``τ`` in metadata: each table either advances the packet along its expected
+traversal (a tag+ternary hit) or passes it through unchanged.  The packet
+is a cache hit when the tag reaches :data:`~repro.core.ltm.TAG_DONE` —
+i.e. some chain of cached sub-traversals reproduced a complete slow-path
+traversal.  Install partitions a freshly-traced traversal (disjoint
+partitioning by default), converts the slices to LTM rules, and places
+them into strictly increasing tables, *reusing* identical rules already
+installed by other traversals — the sharing that gives Gigaflow its
+coverage (Fig. 5c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..cache.base import CacheResult, FlowCache
+from ..flow.actions import Action, ActionList
+from ..flow.fields import DEFAULT_SCHEMA, FieldSchema
+from ..flow.key import FlowKey
+from ..pipeline.traversal import Traversal
+from .ltm import TAG_DONE, LtmRule, LtmTable
+from .partition import Partition, Partitioner, disjoint_partition
+from .rulegen import build_ltm_rules
+
+
+@dataclass
+class InstallOutcome:
+    """What happened when a traversal was offered to the cache.
+
+    Attributes:
+        installed: Rules newly inserted.
+        reused: Rules shared with previously-installed traversals.
+        rejected: Rules that found no feasible table with free space.
+        complete: True when the full chain (entry tag → DONE) is cached.
+    """
+
+    installed: int = 0
+    reused: int = 0
+    rejected: int = 0
+    complete: bool = True
+
+
+class GigaflowCache(FlowCache):
+    """A multi-table sub-traversal cache.
+
+    Attributes:
+        num_tables: ``K`` — cache tables on the SmartNIC (paper default 4).
+        table_capacity: Entries per table (paper default 8K).
+        start_tag: The vSwitch pipeline's entry table ID; packets enter the
+            cache with ``τ = start_tag``.
+        partitioner: Scheme splitting traversals into sub-traversals
+            (default: the paper's disjoint partitioning).
+        placement: ``"balanced"`` places new rules in the feasible table
+            with the most free slots; ``"earliest"`` packs tables front to
+            back.
+        eviction: ``"lru"`` evicts the least-recently-used rule from a
+            feasible table when every feasible table is full (mirroring the
+            OVS revalidator's behaviour under pressure); ``"reject"``
+            refuses the install instead (the paper's ``GF_k not full``
+            formulation relies on idle expiry alone).
+    """
+
+    name = "gigaflow"
+
+    def __init__(
+        self,
+        num_tables: int = 4,
+        table_capacity: int = 8192,
+        schema: FieldSchema = DEFAULT_SCHEMA,
+        start_tag: int = 0,
+        partitioner: Partitioner = disjoint_partition,
+        placement: str = "balanced",
+        eviction: str = "lru",
+    ):
+        super().__init__()
+        if num_tables < 1:
+            raise ValueError(f"need at least one table, got {num_tables}")
+        if placement not in ("balanced", "earliest"):
+            raise ValueError(f"unknown placement policy {placement!r}")
+        if eviction not in ("lru", "reject"):
+            raise ValueError(f"unknown eviction policy {eviction!r}")
+        self.schema = schema
+        self.start_tag = start_tag
+        self.partitioner = partitioner
+        self.placement = placement
+        self.eviction = eviction
+        self.tables: Tuple[LtmTable, ...] = tuple(
+            LtmTable(i, table_capacity, schema) for i in range(num_tables)
+        )
+        #: Cumulative sharing events (a rule reused by another traversal).
+        self.sharing_events = 0
+
+    # -- lookup (the SmartNIC fast path) -----------------------------------------
+
+    def lookup(self, flow: FlowKey, now: float = 0.0) -> CacheResult:
+        tag = self.start_tag
+        current = flow
+        composed: List[Action] = []
+        tables_hit = 0
+        probes = 0
+        for table in self.tables:
+            if tag == TAG_DONE:
+                break
+            rule, groups = table.lookup(current, tag)
+            probes += max(groups, 1)
+            if rule is None:
+                continue  # pass-through: not this packet's next segment
+            tables_hit += 1
+            rule.last_used = now
+            rule.hit_count += 1
+            composed.extend(rule.actions)
+            current = rule.actions.apply(current)
+            tag = rule.next_tag
+        if tag == TAG_DONE:
+            actions = ActionList(composed)
+            self.stats.hits += 1
+            return CacheResult(
+                hit=True,
+                actions=actions,
+                output_port=actions.output_port(),
+                groups_probed=probes,
+                tables_hit=tables_hit,
+            )
+        self.stats.misses += 1
+        return CacheResult(
+            hit=False, groups_probed=probes, tables_hit=tables_hit
+        )
+
+    # -- install (the slow-path upcall) ---------------------------------------------
+
+    def install_traversal(
+        self,
+        traversal: Traversal,
+        generation: int = 0,
+        now: float = 0.0,
+    ) -> InstallOutcome:
+        """Partition a traced traversal and install its LTM rules."""
+        available = sum(1 for t in self.tables if not t.is_full)
+        max_parts = min(len(self.tables), max(available, 1))
+        partition = self.partitioner(traversal, max_parts)
+        rules = build_ltm_rules(partition, generation, now)
+        return self.install_rules(rules)
+
+    def install_rules(self, rules: Sequence[LtmRule]) -> InstallOutcome:
+        """Place ordered LTM rules into strictly increasing tables.
+
+        Rule ``i`` of ``m`` may land in table indices
+        ``[prev + 1, K - m + i]`` — the window that leaves room for the
+        remaining rules.  An identical rule anywhere in the window is
+        reused; otherwise the rule goes to a table with free space per the
+        placement policy.
+        """
+        outcome = InstallOutcome()
+        k = len(self.tables)
+        m = len(rules)
+        if m > k:
+            raise ValueError(
+                f"{m} sub-traversals cannot map onto {k} cache tables"
+            )
+        prev = -1
+        for i, rule in enumerate(rules):
+            window = range(prev + 1, k - m + i + 1)
+            placed_at = self._reuse_in_window(rule, window)
+            if placed_at is not None:
+                outcome.reused += 1
+                self.sharing_events += 1
+                prev = placed_at
+                continue
+            placed_at = self._insert_in_window(rule, window)
+            if placed_at is None:
+                outcome.rejected += 1
+                outcome.complete = False
+                self.stats.rejected += 1
+                # Later rules cannot chain past a missing segment; stop.
+                break
+            outcome.installed += 1
+            self.stats.insertions += 1
+            prev = placed_at
+        return outcome
+
+    def _reuse_in_window(
+        self, rule: LtmRule, window: range
+    ) -> Optional[int]:
+        identity = rule.identity()
+        for index in window:
+            existing = self.tables[index].find_identical(identity)
+            if existing is not None:
+                existing.install_count += 1
+                existing.last_used = max(existing.last_used, rule.last_used)
+                existing.generation = max(
+                    existing.generation, rule.generation
+                )
+                return index
+        return None
+
+    def _insert_in_window(
+        self, rule: LtmRule, window: range
+    ) -> Optional[int]:
+        candidates = [
+            index for index in window if not self.tables[index].is_full
+        ]
+        if not candidates:
+            if self.eviction != "lru":
+                return None
+            index = self._evict_for(window)
+            if index is None:
+                return None
+            candidates = [index]
+        if self.placement == "balanced":
+            index = max(candidates, key=lambda i: self.tables[i].free_slots)
+        else:
+            index = candidates[0]
+        inserted = self.tables[index].insert(rule)
+        assert inserted, "candidate table was checked for space"
+        return index
+
+    def _evict_for(self, window: range) -> Optional[int]:
+        """Free one slot by evicting the LRU rule among the feasible
+        tables; returns the table index with the freed slot."""
+        victim = None
+        victim_table = None
+        for index in window:
+            candidate = self.tables[index].lru_rule()
+            if candidate is None:
+                continue
+            if victim is None or candidate.last_used < victim.last_used:
+                victim = candidate
+                victim_table = index
+        if victim is None:
+            return None
+        self.tables[victim_table].remove(victim)
+        self.stats.evictions += 1
+        return victim_table
+
+    # -- FlowCache bookkeeping ----------------------------------------------------------
+
+    def entry_count(self) -> int:
+        return sum(len(t) for t in self.tables)
+
+    def capacity_total(self) -> int:
+        return sum(t.capacity for t in self.tables)
+
+    def evict_idle(self, now: float, max_idle: float) -> int:
+        evicted = 0
+        for table in self.tables:
+            stale = [
+                rule for rule in table if now - rule.last_used > max_idle
+            ]
+            for rule in stale:
+                table.remove(rule)
+            evicted += len(stale)
+        self.stats.evictions += evicted
+        return evicted
+
+    def remove_rule(self, rule: LtmRule) -> None:
+        """Remove a specific rule (revalidation eviction)."""
+        for table in self.tables:
+            if table.find_identical(rule.identity()) is rule:
+                table.remove(rule)
+                self.stats.evictions += 1
+                return
+        raise KeyError(f"rule not installed: {rule!r}")
+
+    def clear(self) -> None:
+        for table in self.tables:
+            table.clear()
+
+    # -- introspection -------------------------------------------------------------------
+
+    def __iter__(self):
+        for table in self.tables:
+            yield from table
+
+    def per_table_counts(self) -> Tuple[int, ...]:
+        return tuple(len(t) for t in self.tables)
+
+    def average_sharing(self) -> float:
+        """Mean number of traversals sharing each cached sub-traversal —
+        the reoccurrence frequency of Fig. 11."""
+        counts = [rule.install_count for rule in self]
+        return sum(counts) / len(counts) if counts else 0.0
+
+    def rules_by_table(self) -> Tuple[Tuple[LtmRule, ...], ...]:
+        return tuple(tuple(table) for table in self.tables)

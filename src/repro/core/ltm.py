@@ -1,0 +1,230 @@
+"""Longest Traversal Matching (LTM) tables — §4.1, Fig. 6.
+
+An LTM table is the software model of one P4 match-action table in the
+SmartNIC: an exact match on the 8-bit table tag ``τ`` plus ternary matches
+on the header fields, with rule priority ``ρ`` equal to the sub-traversal
+length (longer sub-traversals win, hence *Longest Traversal Matching*).
+Actions rewrite headers, advance the tag to the next expected vSwitch
+table, and forward/drop when the sub-traversal ends the pipeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..classify.tss import TupleSpaceClassifier
+from ..flow.actions import ActionList
+from ..flow.fields import DEFAULT_SCHEMA, FieldSchema
+from ..flow.key import FlowKey
+from ..flow.match import TernaryMatch
+
+#: Tag value meaning "traversal complete" — the packet has been fully
+#: processed and the terminal action (forward/drop) has fired.
+TAG_DONE = -1
+
+_ltm_ids = itertools.count()
+
+
+class LtmRule:
+    """One sub-traversal cached as an LTM entry.
+
+    Attributes:
+        tag: Exact-match table tag ``τ`` — the vSwitch table ID the parent
+            sub-traversal starts at.
+        match: Ternary predicate ``M_k`` over the header fields.
+        priority: ``ρ`` — the number of vSwitch tables spanned.
+        actions: The commit ``α_k``: set-field rewrites plus, for terminal
+            sub-traversals, the forward/drop.
+        next_tag: Tag after this rule fires — the next expected vSwitch
+            table, or :data:`TAG_DONE` when the sub-traversal is terminal.
+        parent_flow: Flow at sub-traversal entry (revalidation replays it).
+        length: Tables spanned (= ``priority``; kept for readability).
+        generation: Pipeline generation the rule was derived from.
+    """
+
+    __slots__ = (
+        "tag",
+        "match",
+        "priority",
+        "actions",
+        "next_tag",
+        "parent_flow",
+        "length",
+        "generation",
+        "last_used",
+        "install_count",
+        "hit_count",
+        "rule_id",
+    )
+
+    def __init__(
+        self,
+        tag: int,
+        match: TernaryMatch,
+        priority: int,
+        actions: ActionList,
+        next_tag: int,
+        parent_flow: FlowKey,
+        generation: int = 0,
+        now: float = 0.0,
+    ):
+        if priority < 1:
+            raise ValueError(f"LTM priority must be >= 1, got {priority}")
+        self.tag = tag
+        self.match = match
+        self.priority = priority
+        self.actions = actions
+        self.next_tag = next_tag
+        self.parent_flow = parent_flow
+        self.length = priority
+        self.generation = generation
+        self.last_used = now
+        #: How many distinct traversal installs produced/reused this rule —
+        #: the sharing frequency of Fig. 11.
+        self.install_count = 1
+        self.hit_count = 0
+        self.rule_id = next(_ltm_ids)
+
+    def identity(self) -> Tuple:
+        """Value identity: two rules with equal identity are the same cached
+        sub-traversal and can be shared across traversals (Fig. 5c)."""
+        return (self.tag, self.match, self.next_tag, self.actions)
+
+    def __repr__(self) -> str:
+        nxt = "DONE" if self.next_tag == TAG_DONE else self.next_tag
+        return (
+            f"LtmRule(id={self.rule_id}, tag={self.tag}, rho={self.priority}, "
+            f"{self.match!r} -> next_tag={nxt})"
+        )
+
+
+class LtmTable:
+    """One Gigaflow cache table ``GF_k``.
+
+    Rules are indexed per tag (the exact-match component), each tag bucket
+    being a ternary TSS classifier.  Within a tag, the winner is the rule
+    with the highest ``ρ`` (the LTM selection rule of §4.1.1).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        capacity: int = 8192,
+        schema: FieldSchema = DEFAULT_SCHEMA,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.index = index
+        self.capacity = capacity
+        self.schema = schema
+        self._by_tag: Dict[int, TupleSpaceClassifier[LtmRule]] = {}
+        self._by_identity: Dict[Tuple, LtmRule] = {}
+
+    # -- capacity ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._by_identity)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._by_identity) >= self.capacity
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._by_identity)
+
+    # -- rule management -------------------------------------------------------------
+
+    def find_identical(self, identity: Tuple) -> Optional[LtmRule]:
+        """An already-installed rule with the same value identity, if any."""
+        return self._by_identity.get(identity)
+
+    def insert(self, rule: LtmRule) -> bool:
+        """Install a rule; returns False when the table is full."""
+        identity = rule.identity()
+        existing = self._by_identity.get(identity)
+        if existing is not None:
+            existing.install_count += 1
+            existing.last_used = max(existing.last_used, rule.last_used)
+            existing.generation = max(existing.generation, rule.generation)
+            return True
+        if self.is_full:
+            return False
+        bucket = self._by_tag.get(rule.tag)
+        if bucket is None:
+            bucket = TupleSpaceClassifier(self.schema)
+            self._by_tag[rule.tag] = bucket
+        bucket.insert(rule)
+        self._by_identity[identity] = rule
+        return True
+
+    def remove(self, rule: LtmRule) -> None:
+        identity = rule.identity()
+        if identity not in self._by_identity:
+            raise KeyError(f"rule not in table {self.index}: {rule!r}")
+        bucket = self._by_tag[rule.tag]
+        bucket.remove(rule)
+        if not len(bucket):
+            del self._by_tag[rule.tag]
+        del self._by_identity[identity]
+
+    def clear(self) -> None:
+        self._by_tag.clear()
+        self._by_identity.clear()
+
+    def __iter__(self) -> Iterator[LtmRule]:
+        return iter(self._by_identity.values())
+
+    # -- lookup -----------------------------------------------------------------------
+
+    def lookup(self, flow: FlowKey, tag: int) -> Tuple[Optional[LtmRule], int]:
+        """Match ``(τ=tag, flow)``; returns (winning rule, groups probed).
+
+        The exact tag match filters out sub-traversals that are not part of
+        the packet's expected sequence (§4.1.1); priorities then implement
+        the longest-sub-traversal selection.
+        """
+        bucket = self._by_tag.get(tag)
+        if bucket is None:
+            return None, 0
+        result = bucket.lookup(flow)
+        return result.rule, result.groups_probed
+
+    def lru_rule(self) -> Optional[LtmRule]:
+        """The least-recently-used rule (eviction victim candidate)."""
+        best: Optional[LtmRule] = None
+        for rule in self._by_identity.values():
+            if best is None or rule.last_used < best.last_used:
+                best = rule
+        return best
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def tags(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._by_tag))
+
+    def rules_with_tag(self, tag: int) -> List[LtmRule]:
+        bucket = self._by_tag.get(tag)
+        return list(bucket) if bucket is not None else []
+
+    def tag_histogram(self) -> Dict[int, int]:
+        """Entries per tag — diagnostic for placement quality."""
+        return {tag: len(bucket) for tag, bucket in self._by_tag.items()}
+
+    def mean_group_count(self) -> float:
+        """Average TSS mask groups per tag bucket — the expected hash
+        probes one lookup of this table costs (the tag exact-match selects
+        a single bucket first)."""
+        if not self._by_tag:
+            return 0.0
+        return sum(
+            bucket.group_count for bucket in self._by_tag.values()
+        ) / len(self._by_tag)
+
+    def __repr__(self) -> str:
+        return (
+            f"LtmTable(index={self.index}, entries={len(self)}/"
+            f"{self.capacity}, tags={len(self._by_tag)})"
+        )

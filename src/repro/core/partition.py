@@ -1,0 +1,175 @@
+"""Sub-traversal partitioning (§4.2.2, Fig. 7, Fig. 16).
+
+A traversal of ``N`` table lookups must be split into at most ``K``
+contiguous sub-traversals, one per available Gigaflow table.  The paper's
+*disjoint partitioning* (DP) scores a candidate sub-traversal by its length
+when its tables match overlapping fields (it stays inside one field group)
+and by 0 when it crosses a *disjointness boundary* (adjacent tables with no
+field in common); the partition maximising the total score is selected via
+a dynamic program.
+
+Two baselines from Fig. 16 are also provided: RND (random cut points) and
+the ideal 1-1 mapping (every pipeline table gets its own cache table).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..pipeline.traversal import SubTraversal, Traversal
+
+#: A partition is an ordered tuple of contiguous sub-traversals covering
+#: the whole traversal.
+Partition = Tuple[SubTraversal, ...]
+
+#: Signature shared by all partitioners.
+Partitioner = Callable[[Traversal, int], Partition]
+
+
+def step_field_sets(traversal: Traversal) -> List[frozenset]:
+    """Per-step matched-field sets (the disjointness unit)."""
+    return [step.wildcard.field_set() for step in traversal.steps]
+
+
+def disjoint_boundaries(traversal: Traversal) -> List[bool]:
+    """``boundary[i]`` is True when steps ``i`` and ``i+1`` match disjoint
+    fields — a legal (score-preserving) cut point."""
+    fields = step_field_sets(traversal)
+    return [
+        not (fields[i] & fields[i + 1]) for i in range(len(fields) - 1)
+    ]
+
+
+def segment_score(traversal: Traversal, start: int, stop: int) -> int:
+    """Fig. 7's score: the segment's length when no internal disjointness
+    boundary is crossed, else 0.  Single-step segments trivially score 1."""
+    boundaries = disjoint_boundaries(traversal)
+    if any(boundaries[start : stop - 1]):
+        return 0
+    return stop - start
+
+
+def partition_score(traversal: Traversal, partition: Partition) -> int:
+    """Total Fig. 7 score of a partition."""
+    return sum(
+        segment_score(traversal, sub.start, sub.stop) for sub in partition
+    )
+
+
+def disjoint_partition(traversal: Traversal, max_parts: int) -> Partition:
+    """The paper's DP partitioner.
+
+    ``dp[i][k]``: best score for the first ``i`` steps using exactly ``k``
+    segments.  Scoring a segment is O(1) after precomputing, for each start
+    index, the furthest stop that avoids crossing a boundary.  Ties prefer
+    fewer segments, then longer trailing segments (fewer cache entries).
+    """
+    n = len(traversal)
+    if max_parts < 1:
+        raise ValueError(f"max_parts must be >= 1, got {max_parts}")
+    k_max = min(max_parts, n)
+
+    boundaries = disjoint_boundaries(traversal)
+    # cohesive_until[i]: largest stop such that [i:stop] has no internal
+    # boundary (i.e. the end of i's field group).
+    cohesive_until = [0] * n
+    stop = n
+    for i in range(n - 1, -1, -1):
+        cohesive_until[i] = stop
+        if i > 0 and boundaries[i - 1]:
+            stop = i
+
+    NEG = -1
+    # dp[k][i] = best score for steps[0:i] with exactly k segments.
+    dp = [[NEG] * (n + 1) for _ in range(k_max + 1)]
+    choice: List[List[Optional[int]]] = [
+        [None] * (n + 1) for _ in range(k_max + 1)
+    ]
+    dp[0][0] = 0
+    for k in range(1, k_max + 1):
+        for i in range(k, n + 1):
+            best, best_j = NEG, None
+            # Segment [j:i]; iterate j descending so longer segments win ties.
+            for j in range(i - 1, k - 2 if k >= 2 else -1, -1):
+                if dp[k - 1][j] == NEG:
+                    continue
+                score = (i - j) if i <= cohesive_until[j] else 0
+                total = dp[k - 1][j] + score
+                if total > best:
+                    best, best_j = total, j
+            dp[k][i] = best
+            choice[k][i] = best_j
+
+    # Pick the smallest k achieving the maximum score.
+    best_k, best_score = 1, dp[1][n]
+    for k in range(2, k_max + 1):
+        if dp[k][n] > best_score:
+            best_k, best_score = k, dp[k][n]
+
+    cuts: List[int] = []
+    i, k = n, best_k
+    while k > 0:
+        j = choice[k][i]
+        assert j is not None
+        if j > 0:
+            cuts.append(j)
+        i, k = j, k - 1
+    cuts.reverse()
+    return traversal.partitions_of(cuts)
+
+
+def megaflow_partition(traversal: Traversal, max_parts: int = 1) -> Partition:
+    """The K=1 degenerate case: one segment spanning the whole traversal
+    (exactly what a Megaflow entry caches)."""
+    return (traversal.sub(0, len(traversal)),)
+
+
+def one_to_one_partition(traversal: Traversal, max_parts: int = 0) -> Partition:
+    """The ideal 1-1 mapping of §6.3.3: every pipeline table in the
+    traversal gets its own cache table.  ``max_parts`` is ignored — the
+    scheme assumes the SmartNIC has as many tables as the pipeline."""
+    return tuple(traversal.sub(i, i + 1) for i in range(len(traversal)))
+
+
+class RandomPartitioner:
+    """The RND baseline of Fig. 16: uniformly random cut points.
+
+    Stateful (carries its RNG) so repeated calls explore different cuts
+    while remaining reproducible from the seed.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, traversal: Traversal, max_parts: int) -> Partition:
+        n = len(traversal)
+        k = int(self._rng.integers(1, min(max_parts, n) + 1))
+        if k == 1:
+            return megaflow_partition(traversal)
+        cuts = sorted(
+            int(c) + 1
+            for c in self._rng.choice(n - 1, size=k - 1, replace=False)
+        )
+        return traversal.partitions_of(cuts)
+
+
+def partitioner_by_name(name: str, seed: int = 0) -> Partitioner:
+    """Resolve a partitioning scheme by its Fig. 16 label."""
+    schemes = {
+        "dp": disjoint_partition,
+        "disjoint": disjoint_partition,
+        "rnd": RandomPartitioner(seed),
+        "random": RandomPartitioner(seed),
+        "1-1": one_to_one_partition,
+        "one-to-one": one_to_one_partition,
+        "megaflow": megaflow_partition,
+    }
+    try:
+        return schemes[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown partitioning scheme {name!r}; "
+            f"available: {sorted(schemes)}"
+        ) from None

@@ -1,0 +1,137 @@
+"""Figs. 8–13: the end-to-end evaluation — Gigaflow (4×K) vs Megaflow.
+
+All six figures read the same ten (pipeline × locality) simulation cells
+(memoised in :mod:`repro.experiments.common`):
+
+* Fig. 8 — cache hit rate
+* Fig. 9 — cache misses
+* Fig. 10 — cache entries (peak occupancy)
+* Fig. 11 — sub-traversal reoccurrence (sharing) frequency
+* Fig. 12 — average per-packet latency
+* Fig. 13 — slow-path CPU breakdown
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .common import (
+    ExperimentScale,
+    LOCALITIES,
+    PIPELINE_NAMES,
+    PairResult,
+    SMALL_SCALE,
+    run_all_pairs,
+)
+
+Cell = Tuple[str, str]  # (pipeline, locality)
+
+
+def fig08_hit_rates(
+    scale: ExperimentScale = SMALL_SCALE,
+) -> Dict[Cell, Tuple[float, float]]:
+    """(megaflow, gigaflow) hit rate per cell."""
+    return {
+        cell: (pair.megaflow.hit_rate, pair.gigaflow.hit_rate)
+        for cell, pair in run_all_pairs(scale).items()
+    }
+
+
+def fig09_misses(
+    scale: ExperimentScale = SMALL_SCALE,
+) -> Dict[Cell, Tuple[int, int]]:
+    """(megaflow, gigaflow) cache misses per cell."""
+    return {
+        cell: (pair.megaflow.misses, pair.gigaflow.misses)
+        for cell, pair in run_all_pairs(scale).items()
+    }
+
+
+def fig10_entries(
+    scale: ExperimentScale = SMALL_SCALE,
+) -> Dict[Cell, Tuple[int, int]]:
+    """(megaflow, gigaflow) peak cache entries per cell."""
+    return {
+        cell: (pair.megaflow.peak_entries, pair.gigaflow.peak_entries)
+        for cell, pair in run_all_pairs(scale).items()
+    }
+
+
+def fig11_sharing(
+    scale: ExperimentScale = SMALL_SCALE,
+) -> Dict[Cell, float]:
+    """Average sub-traversal reoccurrence frequency per cell (Gigaflow)."""
+    return {
+        cell: pair.gigaflow.sharing or 0.0
+        for cell, pair in run_all_pairs(scale).items()
+    }
+
+
+def fig12_latency(
+    scale: ExperimentScale = SMALL_SCALE,
+) -> Dict[Cell, Tuple[float, float]]:
+    """(megaflow, gigaflow) modelled average per-packet latency (µs)."""
+    return {
+        cell: (
+            pair.megaflow.avg_latency_us,
+            pair.gigaflow.avg_latency_us,
+        )
+        for cell, pair in run_all_pairs(scale).items()
+    }
+
+
+@dataclass
+class CpuBreakdownRow:
+    """Fig. 13: one pipeline's slow-path CPU composition under Gigaflow."""
+
+    pipeline: str
+    pipeline_cycles: int
+    partition_cycles: int
+    rulegen_cycles: int
+
+    @property
+    def overhead_fraction(self) -> float:
+        """(partition + rulegen) / userspace-pipeline — the paper reports
+        ~0.8 for OLS/ANT down to ~0.2 for OFD."""
+        if not self.pipeline_cycles:
+            return 0.0
+        return (
+            self.partition_cycles + self.rulegen_cycles
+        ) / self.pipeline_cycles
+
+
+def fig13_cpu_breakdown(
+    scale: ExperimentScale = SMALL_SCALE,
+    locality: str = "high",
+) -> Dict[str, CpuBreakdownRow]:
+    """Per-pipeline Gigaflow slow-path CPU breakdown."""
+    rows = {}
+    for name in PIPELINE_NAMES:
+        pair = run_all_pairs(scale)[(name, locality)]
+        cpu = pair.gigaflow.cpu
+        rows[name] = CpuBreakdownRow(
+            pipeline=name,
+            pipeline_cycles=cpu.pipeline_cycles,
+            partition_cycles=cpu.partition_cycles,
+            rulegen_cycles=cpu.rulegen_cycles,
+        )
+    return rows
+
+
+def format_end_to_end(scale: ExperimentScale = SMALL_SCALE) -> str:
+    """A combined Fig. 8/9/10 text table."""
+    pairs = run_all_pairs(scale)
+    lines = [
+        "pipeline locality | MF hit   GF hit  | MF miss  GF miss | "
+        "MF peak  GF peak"
+    ]
+    for (name, locality) in sorted(pairs):
+        pair = pairs[(name, locality)]
+        mf, gf = pair.megaflow, pair.gigaflow
+        lines.append(
+            f"{name:<8} {locality:<8} | {mf.hit_rate:7.4f} {gf.hit_rate:7.4f}"
+            f" | {mf.misses:8d} {gf.misses:8d}"
+            f" | {mf.peak_entries:7d} {gf.peak_entries:7d}"
+        )
+    return "\n".join(lines)

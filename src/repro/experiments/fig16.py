@@ -1,0 +1,97 @@
+"""Fig. 16: partitioning schemes — RND vs DP vs the ideal 1-1 mapping.
+
+On the OLS pipeline, random partitioning (RND) barely beats Megaflow
+while consuming the whole cache; disjoint partitioning (DP) removes most
+misses using a fraction of the entries; the ideal 1-1 mapping (one cache
+table per pipeline table) is slightly better on misses but needs ~2.8×
+more entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.partition import (
+    RandomPartitioner,
+    disjoint_partition,
+    one_to_one_partition,
+)
+from .common import (
+    ExperimentScale,
+    SMALL_SCALE,
+    fresh_workload,
+    make_gigaflow,
+    make_megaflow,
+    run_system,
+)
+
+
+@dataclass
+class SchemeResult:
+    scheme: str
+    misses: int
+    peak_entries: int
+    hit_rate: float
+
+
+def compare_partitioners(
+    pipeline_name: str = "OLS",
+    locality: str = "high",
+    scale: ExperimentScale = SMALL_SCALE,
+) -> Dict[str, SchemeResult]:
+    """Run Megaflow, RND, DP and 1-1 over the same workload geometry.
+
+    The 1-1 mapping assumes the SmartNIC has one table per pipeline table
+    (the paper's idealised upper bound), so it gets as many tables as the
+    pipeline's longest traversal — with the same per-table budget.
+    """
+    results: Dict[str, SchemeResult] = {}
+
+    mf = run_system(
+        fresh_workload(pipeline_name, locality, scale),
+        make_megaflow(scale),
+        scale,
+    )
+    results["megaflow"] = SchemeResult(
+        "megaflow", mf.misses, mf.peak_entries, mf.hit_rate
+    )
+
+    rnd = run_system(
+        fresh_workload(pipeline_name, locality, scale),
+        make_gigaflow(scale, partitioner=RandomPartitioner(seed=scale.seed)),
+        scale,
+    )
+    results["rnd"] = SchemeResult(
+        "rnd", rnd.misses, rnd.peak_entries, rnd.hit_rate
+    )
+
+    dp = run_system(
+        fresh_workload(pipeline_name, locality, scale),
+        make_gigaflow(scale, partitioner=disjoint_partition),
+        scale,
+    )
+    results["dp"] = SchemeResult(
+        "dp", dp.misses, dp.peak_entries, dp.hit_rate
+    )
+
+    workload = fresh_workload(pipeline_name, locality, scale)
+    # The 1-1 ideal assumes one SmartNIC table per pipeline table of the
+    # longest *actual* traversal (rule-chain detours can exceed the
+    # longest template path).
+    longest = max(
+        len(pilot.traversal) for pilot in workload.pilots
+    )
+    one = run_system(
+        workload,
+        make_gigaflow(
+            scale,
+            num_tables=longest,
+            partitioner=one_to_one_partition,
+        ),
+        scale,
+    )
+    results["1-1"] = SchemeResult(
+        "1-1", one.misses, one.peak_entries, one.hit_rate
+    )
+    return results

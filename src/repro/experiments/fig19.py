@@ -1,0 +1,41 @@
+"""Fig. 19 (Appendix A): CPU-core scaling of slow-path misses.
+
+OVS spreads SmartNIC cache misses across slow-path cores with RSS, so
+per-core miss load scales as 1/n for both systems — but Gigaflow starts
+from a much lower total, keeping its per-core load below Megaflow's at
+every core count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..metrics.cpu import per_core_miss_load
+from .common import ExperimentScale, SMALL_SCALE, run_pair
+
+
+@dataclass
+class CoreScalingResult:
+    pipeline: str
+    megaflow_by_cores: Dict[int, float]
+    gigaflow_by_cores: Dict[int, float]
+
+
+def core_scaling(
+    pipeline_name: str = "PSC",
+    locality: str = "high",
+    cores: Tuple[int, ...] = (1, 2, 4, 8),
+    scale: ExperimentScale = SMALL_SCALE,
+) -> CoreScalingResult:
+    """Per-core miss load for both systems at several core counts."""
+    pair = run_pair(pipeline_name, locality, scale)
+    return CoreScalingResult(
+        pipeline=pipeline_name,
+        megaflow_by_cores={
+            n: per_core_miss_load(pair.megaflow.misses, n) for n in cores
+        },
+        gigaflow_by_cores={
+            n: per_core_miss_load(pair.gigaflow.misses, n) for n in cores
+        },
+    )

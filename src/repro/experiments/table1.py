@@ -1,0 +1,27 @@
+"""Table 1: the real-world pipelines and their traversal counts."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..pipeline.library import PIPELINES, TABLE1_EXPECTED
+
+
+def table1() -> Dict[str, Tuple[int, int]]:
+    """Measured (tables, unique traversals) per pipeline spec."""
+    return {
+        name: (spec.table_count, spec.traversal_count)
+        for name, spec in PIPELINES.items()
+    }
+
+
+def table1_matches_paper() -> bool:
+    """True when every pipeline matches the paper's Table 1 exactly."""
+    return table1() == TABLE1_EXPECTED
+
+
+def format_table1() -> str:
+    rows = ["Pipeline  Tables  Traversals"]
+    for name, (tables, traversals) in sorted(table1().items()):
+        rows.append(f"{name:<9} {tables:>6} {traversals:>11}")
+    return "\n".join(rows)

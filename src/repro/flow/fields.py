@@ -1,0 +1,186 @@
+"""Header-field schema for the Gigaflow reproduction.
+
+The paper's LTM table (Fig. 6) matches, per cache table, an exact-match
+table tag plus ten ternary header fields.  This module defines those ten
+fields and the :class:`FieldSchema` object that the rest of the library is
+parameterised over.  Keeping the schema explicit (rather than hard-coding
+field offsets) lets tests build tiny two-field schemas and lets pipelines
+declare exactly which fields each stage inspects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Field:
+    """A single packet header field.
+
+    Attributes:
+        name: Canonical field name (e.g. ``"ip_dst"``).
+        width: Width in bits.  Masks and values for this field must fit in
+            ``width`` bits.
+        layer: Protocol layer the field belongs to (``"port"``, ``"l2"``,
+            ``"l3"`` or ``"l4"``).  Used by pipeline specs and by the
+            disjointness analysis to group fields.
+    """
+
+    name: str
+    width: int
+    layer: str
+
+    @property
+    def full_mask(self) -> int:
+        """The all-ones mask for this field."""
+        return (1 << self.width) - 1
+
+    def validate_value(self, value: int) -> int:
+        """Return ``value`` after checking it fits in the field width."""
+        if not 0 <= value <= self.full_mask:
+            raise ValueError(
+                f"value {value:#x} does not fit field {self.name!r} "
+                f"({self.width} bits)"
+            )
+        return value
+
+
+class FieldSchema:
+    """An ordered, immutable collection of :class:`Field` objects.
+
+    A schema assigns every field an index; :class:`~repro.flow.key.FlowKey`
+    and :class:`~repro.flow.wildcard.Wildcard` are tuples indexed by these
+    positions.  Schemas compare equal structurally so that keys built from
+    two identical schema instances interoperate.
+    """
+
+    def __init__(self, fields: Iterable[Field]):
+        self._fields: Tuple[Field, ...] = tuple(fields)
+        if not self._fields:
+            raise ValueError("a schema needs at least one field")
+        names = [f.name for f in self._fields]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names in schema: {names}")
+        self._index: Dict[str, int] = {f.name: i for i, f in enumerate(self._fields)}
+        self._full_masks: Tuple[int, ...] = tuple(f.full_mask for f in self._fields)
+        self._zero: Tuple[int, ...] = (0,) * len(self._fields)
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self._fields)
+
+    def __getitem__(self, index: int) -> Field:
+        return self._fields[index]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FieldSchema):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __hash__(self) -> int:
+        return hash(self._fields)
+
+    def __repr__(self) -> str:
+        return f"FieldSchema({[f.name for f in self._fields]})"
+
+    # -- lookups -------------------------------------------------------------
+
+    @property
+    def fields(self) -> Tuple[Field, ...]:
+        return self._fields
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self._fields)
+
+    @property
+    def full_masks(self) -> Tuple[int, ...]:
+        """Per-field all-ones masks, in schema order."""
+        return self._full_masks
+
+    @property
+    def zero_tuple(self) -> Tuple[int, ...]:
+        """An all-zero tuple of the schema's arity (useful as a blank mask)."""
+        return self._zero
+
+    def index_of(self, name: str) -> int:
+        """Return the positional index of field ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(f"unknown field {name!r}; schema has {self.names}") from None
+
+    def field(self, name: str) -> Field:
+        return self._fields[self.index_of(name)]
+
+    def indices_of(self, names: Sequence[str]) -> Tuple[int, ...]:
+        """Map a sequence of field names to their indices."""
+        return tuple(self.index_of(n) for n in names)
+
+    def layer_of(self, name: str) -> str:
+        return self.field(name).layer
+
+
+#: The ten ternary header fields of the paper's LTM table (Fig. 6).  The
+#: exact-match table tag is metadata, carried separately by the LTM machinery.
+DEFAULT_FIELDS: Tuple[Field, ...] = (
+    Field("in_port", 16, "port"),
+    Field("eth_src", 48, "l2"),
+    Field("eth_dst", 48, "l2"),
+    Field("eth_type", 16, "l2"),
+    Field("vlan_id", 12, "l2"),
+    Field("ip_src", 32, "l3"),
+    Field("ip_dst", 32, "l3"),
+    Field("ip_proto", 8, "l3"),
+    Field("tp_src", 16, "l4"),
+    Field("tp_dst", 16, "l4"),
+)
+
+#: Schema used by all shipped pipelines and generators.
+DEFAULT_SCHEMA = FieldSchema(DEFAULT_FIELDS)
+
+
+def ip(dotted: str) -> int:
+    """Parse a dotted-quad IPv4 address into an integer.
+
+    >>> ip("192.168.0.1")
+    3232235521
+    """
+    parts = dotted.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted quad: {dotted!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"bad octet {part!r} in {dotted!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def ip_str(value: int) -> str:
+    """Format an integer IPv4 address as a dotted quad."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"not an IPv4 address: {value:#x}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def prefix_mask(prefix_len: int, width: int = 32) -> int:
+    """Return the mask of a ``prefix_len``-bit prefix in a ``width``-bit field.
+
+    >>> hex(prefix_mask(24))
+    '0xffffff00'
+    """
+    if not 0 <= prefix_len <= width:
+        raise ValueError(f"prefix length {prefix_len} out of range for width {width}")
+    if prefix_len == 0:
+        return 0
+    return ((1 << prefix_len) - 1) << (width - prefix_len)

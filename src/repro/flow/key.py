@@ -1,0 +1,119 @@
+"""FlowKey: the concrete header values of a packet (the paper's flow ``F``).
+
+A flow key is the flow signature extracted from a packet — one integer per
+schema field.  It is the object that traverses the vSwitch pipeline, gets
+modified by set-field actions, and is masked into cache-entry match
+predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Tuple
+
+from .fields import DEFAULT_SCHEMA, FieldSchema
+from .wildcard import Wildcard
+
+
+class FlowKey:
+    """An immutable vector of concrete header-field values."""
+
+    __slots__ = ("_schema", "_values")
+
+    def __init__(self, schema: FieldSchema, values: Iterable[int]):
+        self._schema = schema
+        self._values: Tuple[int, ...] = tuple(values)
+        if len(self._values) != len(schema):
+            raise ValueError(
+                f"expected {len(schema)} values, got {len(self._values)}"
+            )
+        for field, value in zip(schema, self._values):
+            field.validate_value(value)
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_fields(
+        cls,
+        values: Mapping[str, int],
+        schema: FieldSchema = DEFAULT_SCHEMA,
+    ) -> "FlowKey":
+        """Build a key from a ``{field name: value}`` mapping; rest zero."""
+        vector = [0] * len(schema)
+        for name, value in values.items():
+            vector[schema.index_of(name)] = value
+        return cls(schema, vector)
+
+    @classmethod
+    def zero(cls, schema: FieldSchema = DEFAULT_SCHEMA) -> "FlowKey":
+        return cls(schema, schema.zero_tuple)
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def schema(self) -> FieldSchema:
+        return self._schema
+
+    @property
+    def values(self) -> Tuple[int, ...]:
+        return self._values
+
+    def get(self, name: str) -> int:
+        return self._values[self._schema.index_of(name)]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FlowKey):
+            return NotImplemented
+        return self._schema == other._schema and self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    def __repr__(self) -> str:
+        parts = [
+            f"{field.name}={value:#x}"
+            for field, value in zip(self._schema, self._values)
+            if value
+        ]
+        return f"FlowKey({', '.join(parts) or 'zero'})"
+
+    # -- operations -------------------------------------------------------------------
+
+    def set_field(self, name: str, value: int) -> "FlowKey":
+        """Return a copy with one field replaced (set-field action)."""
+        index = self._schema.index_of(name)
+        self._schema[index].validate_value(value)
+        vector = list(self._values)
+        vector[index] = value
+        return FlowKey(self._schema, vector)
+
+    def masked(self, wildcard: Wildcard) -> Tuple[int, ...]:
+        """Project the key through a wildcard: ``value & mask`` per field.
+
+        The result is a plain tuple — the canonical hashable form used as a
+        hash-table key by the TSS classifier and the LTM tables.
+        """
+        if wildcard.schema != self._schema:
+            raise ValueError("wildcard uses a different schema")
+        return tuple(v & m for v, m in zip(self._values, wildcard.masks))
+
+    def matches(self, value: "FlowKey", wildcard: Wildcard) -> bool:
+        """True when this key equals ``value`` on the wildcarded bits."""
+        if wildcard.schema != self._schema:
+            raise ValueError("wildcard uses a different schema")
+        return all(
+            (mine & mask) == (theirs & mask)
+            for mine, theirs, mask in zip(
+                self._values, value.values, wildcard.masks
+            )
+        )
+
+    def diff_fields(self, other: "FlowKey") -> Tuple[str, ...]:
+        """Names of fields on which the two keys differ."""
+        return tuple(
+            field.name
+            for field, a, b in zip(self._schema, self._values, other._values)
+            if a != b
+        )

@@ -1,0 +1,151 @@
+"""TernaryMatch: a (value, mask, priority) predicate over a field schema.
+
+This is the shared matching primitive used by pipeline tables, the Megaflow
+cache, and the Gigaflow LTM tables.  A packet matches when its header equals
+``value`` on every bit set in ``mask``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Tuple
+
+from .fields import DEFAULT_SCHEMA, FieldSchema
+from .key import FlowKey
+from .wildcard import Wildcard
+
+
+class TernaryMatch:
+    """An immutable ternary predicate: match ``flow & mask == value & mask``."""
+
+    __slots__ = ("_value", "_wildcard", "_canonical")
+
+    def __init__(self, value: FlowKey, wildcard: Wildcard):
+        if value.schema != wildcard.schema:
+            raise ValueError("value and wildcard use different schemas")
+        self._value = value
+        self._wildcard = wildcard
+        # Canonicalise: bits outside the mask are irrelevant, so store the
+        # masked value.  Two predicates that accept the same packets then
+        # compare (and hash) equal.
+        self._canonical: Tuple[int, ...] = value.masked(wildcard)
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_fields(
+        cls,
+        values: Mapping[str, int],
+        masks: Optional[Mapping[str, Optional[int]]] = None,
+        schema: FieldSchema = DEFAULT_SCHEMA,
+    ) -> "TernaryMatch":
+        """Build a match from field values and (optionally) per-field masks.
+
+        With ``masks`` omitted, every field named in ``values`` is matched
+        exactly and all other fields are wildcarded.
+        """
+        if masks is None:
+            masks = {name: None for name in values}
+        wildcard = Wildcard.from_fields(dict(masks), schema)
+        key = FlowKey.from_fields(values, schema)
+        return cls(key, wildcard)
+
+    @classmethod
+    def catch_all(cls, schema: FieldSchema = DEFAULT_SCHEMA) -> "TernaryMatch":
+        """A match that accepts every packet."""
+        return cls(FlowKey.zero(schema), Wildcard.empty(schema))
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def schema(self) -> FieldSchema:
+        return self._value.schema
+
+    @property
+    def value(self) -> FlowKey:
+        return self._value
+
+    @property
+    def wildcard(self) -> Wildcard:
+        return self._wildcard
+
+    @property
+    def canonical_key(self) -> Tuple[int, ...]:
+        """The masked value tuple — a hashable canonical form."""
+        return self._canonical
+
+    @property
+    def mask_tuple(self) -> Tuple[int, ...]:
+        return self._wildcard.masks
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TernaryMatch):
+            return NotImplemented
+        return (
+            self._wildcard == other._wildcard
+            and self._canonical == other._canonical
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._wildcard.masks, self._canonical))
+
+    def __repr__(self) -> str:
+        parts = []
+        for field, value, mask in zip(
+            self.schema, self._canonical, self._wildcard.masks
+        ):
+            if not mask:
+                continue
+            if mask == field.full_mask:
+                parts.append(f"{field.name}={value:#x}")
+            else:
+                parts.append(f"{field.name}={value:#x}/{mask:#x}")
+        return f"TernaryMatch({', '.join(parts) or '*'})"
+
+    # -- evaluation ------------------------------------------------------------------
+
+    def matches(self, flow: FlowKey) -> bool:
+        """True when ``flow`` satisfies this predicate."""
+        return flow.masked(self._wildcard) == self._canonical
+
+    def specificity(self) -> int:
+        """Number of matched bits — more specific predicates match more bits."""
+        return self._wildcard.bit_count()
+
+    def overlaps(self, other: "TernaryMatch") -> bool:
+        """True when some packet can satisfy both predicates.
+
+        Two ternary predicates overlap iff they agree on every bit matched
+        by both masks.
+        """
+        if self.schema != other.schema:
+            raise ValueError("matches use different schemas")
+        for mine, theirs, mask_a, mask_b in zip(
+            self._canonical,
+            other._canonical,
+            self._wildcard.masks,
+            other._wildcard.masks,
+        ):
+            common = mask_a & mask_b
+            if (mine & common) != (theirs & common):
+                return False
+        return True
+
+    def subsumes(self, other: "TernaryMatch") -> bool:
+        """True when every packet matching ``other`` also matches this.
+
+        Holds iff this mask is a subset of the other's mask and the values
+        agree on this mask.
+        """
+        if self.schema != other.schema:
+            raise ValueError("matches use different schemas")
+        for mine, theirs, mask_a, mask_b in zip(
+            self._canonical,
+            other._canonical,
+            self._wildcard.masks,
+            other._wildcard.masks,
+        ):
+            if mask_a & ~mask_b:
+                return False
+            if (theirs & mask_a) != mine:
+                return False
+        return True

@@ -1,0 +1,36 @@
+"""Packet: a flow key plus per-packet trace bookkeeping.
+
+The simulator streams :class:`Packet` objects.  A packet is little more than
+its flow signature (headers are all the system matches on) plus the arrival
+timestamp and payload size used by the latency and throughput models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .key import FlowKey
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A single packet in a trace.
+
+    Attributes:
+        flow: Header field values (the flow signature ``F``).
+        timestamp: Arrival time in seconds since trace start.
+        size: Payload size in bytes (used by throughput accounting).
+        flow_id: Trace-level identifier of the flow this packet belongs to;
+            purely diagnostic (caches never see it).
+    """
+
+    flow: FlowKey
+    timestamp: float = 0.0
+    size: int = 64
+    flow_id: int = field(default=-1, compare=False)
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(t={self.timestamp:.6f}, size={self.size}, "
+            f"flow_id={self.flow_id}, {self.flow!r})"
+        )

@@ -1,0 +1,188 @@
+"""Wildcards: per-field bitmasks describing which header bits a match inspects.
+
+A :class:`Wildcard` is the ``W_i`` of the paper's traversal vector — the set
+of header bits a pipeline table (or a cache entry) examined.  Bits set to 1
+are *matched* (un-wildcarded); bits set to 0 are don't-care.  The Gigaflow
+rule generator combines wildcards with bitwise union (§4.2.3) and the
+disjoint partitioner asks whether two wildcards share any field (§4.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Tuple
+
+from .fields import DEFAULT_SCHEMA, FieldSchema
+
+
+class Wildcard:
+    """An immutable per-field mask vector over a :class:`FieldSchema`."""
+
+    __slots__ = ("_schema", "_masks")
+
+    def __init__(self, schema: FieldSchema, masks: Iterable[int]):
+        self._schema = schema
+        self._masks: Tuple[int, ...] = tuple(masks)
+        if len(self._masks) != len(schema):
+            raise ValueError(
+                f"expected {len(schema)} masks, got {len(self._masks)}"
+            )
+        for field, mask in zip(schema, self._masks):
+            if mask & ~field.full_mask:
+                raise ValueError(
+                    f"mask {mask:#x} overflows field {field.name!r} "
+                    f"({field.width} bits)"
+                )
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def empty(cls, schema: FieldSchema = DEFAULT_SCHEMA) -> "Wildcard":
+        """A wildcard matching nothing (all bits don't-care)."""
+        return cls(schema, schema.zero_tuple)
+
+    @classmethod
+    def full(cls, schema: FieldSchema = DEFAULT_SCHEMA) -> "Wildcard":
+        """A wildcard matching every bit (exact-match)."""
+        return cls(schema, schema.full_masks)
+
+    @classmethod
+    def from_fields(
+        cls,
+        masks: Mapping[str, int],
+        schema: FieldSchema = DEFAULT_SCHEMA,
+    ) -> "Wildcard":
+        """Build a wildcard from a ``{field name: mask}`` mapping.
+
+        Fields absent from ``masks`` are fully wildcarded.  A mask of
+        ``None`` is treated as the field's full mask (exact match).
+        """
+        vector = list(schema.zero_tuple)
+        for name, mask in masks.items():
+            index = schema.index_of(name)
+            if mask is None:
+                mask = schema[index].full_mask
+            vector[index] = mask
+        return cls(schema, vector)
+
+    @classmethod
+    def exact_fields(
+        cls,
+        names: Iterable[str],
+        schema: FieldSchema = DEFAULT_SCHEMA,
+    ) -> "Wildcard":
+        """Build a wildcard that exact-matches the named fields."""
+        return cls.from_fields({name: None for name in names}, schema)
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def schema(self) -> FieldSchema:
+        return self._schema
+
+    @property
+    def masks(self) -> Tuple[int, ...]:
+        return self._masks
+
+    def mask_of(self, name: str) -> int:
+        return self._masks[self._schema.index_of(name)]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._masks)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Wildcard):
+            return NotImplemented
+        return self._schema == other._schema and self._masks == other._masks
+
+    def __hash__(self) -> int:
+        return hash(self._masks)
+
+    def __repr__(self) -> str:
+        parts = [
+            f"{field.name}={mask:#x}"
+            for field, mask in zip(self._schema, self._masks)
+            if mask
+        ]
+        return f"Wildcard({', '.join(parts) or 'empty'})"
+
+    # -- algebra ----------------------------------------------------------------
+
+    def union(self, other: "Wildcard") -> "Wildcard":
+        """Bitwise OR of two wildcards (the ``ω_k = ∪ W_i`` of §4.2.3)."""
+        self._check_schema(other)
+        return Wildcard(
+            self._schema,
+            tuple(a | b for a, b in zip(self._masks, other._masks)),
+        )
+
+    def intersection(self, other: "Wildcard") -> "Wildcard":
+        self._check_schema(other)
+        return Wildcard(
+            self._schema,
+            tuple(a & b for a, b in zip(self._masks, other._masks)),
+        )
+
+    def subtract_fields(self, names: Iterable[str]) -> "Wildcard":
+        """Return a copy with the named fields fully wildcarded again.
+
+        Used when a set-field action overwrites a header mid-traversal: bits
+        of the overwritten field read *after* the action no longer depend on
+        the original packet, so they must not leak into the cache entry's
+        match (§4.2.3's commit computation).
+        """
+        vector = list(self._masks)
+        for name in names:
+            vector[self._schema.index_of(name)] = 0
+        return Wildcard(self._schema, vector)
+
+    def with_field_mask(self, name: str, mask: int) -> "Wildcard":
+        """Return a copy with the named field's mask OR-ed with ``mask``."""
+        index = self._schema.index_of(name)
+        vector = list(self._masks)
+        vector[index] = vector[index] | mask
+        return Wildcard(self._schema, vector)
+
+    # -- predicates ---------------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not any(self._masks)
+
+    def fields_matched(self) -> Tuple[str, ...]:
+        """Names of fields with at least one matched bit."""
+        return tuple(
+            field.name
+            for field, mask in zip(self._schema, self._masks)
+            if mask
+        )
+
+    def field_set(self) -> frozenset:
+        """Set of matched field names (the unit of disjointness analysis)."""
+        return frozenset(self.fields_matched())
+
+    def is_disjoint(self, other: "Wildcard") -> bool:
+        """True when the two wildcards share no matched field.
+
+        This is the paper's *disjointedness property* (§4.2.2): two
+        sub-traversals are disjoint when they have no matching fields in
+        common.  Disjointness is decided at field granularity, matching the
+        paper's examples (Ethernet vs. TCP ports).
+        """
+        self._check_schema(other)
+        return all(
+            not (a and b) for a, b in zip(self._masks, other._masks)
+        )
+
+    def covers(self, other: "Wildcard") -> bool:
+        """True when every bit matched by ``other`` is also matched here."""
+        self._check_schema(other)
+        return all((a & b) == b for a, b in zip(self._masks, other._masks))
+
+    def bit_count(self) -> int:
+        """Total number of matched bits across all fields."""
+        return sum(bin(mask).count("1") for mask in self._masks)
+
+    # -- internals -------------------------------------------------------------------
+
+    def _check_schema(self, other: "Wildcard") -> None:
+        if self._schema != other._schema:
+            raise ValueError("wildcards use different schemas")

@@ -1,0 +1,265 @@
+"""JSON serialisation for flows, rules, pipelines and cache contents.
+
+Lets users persist generated workloads and inspect cache state offline:
+
+* dump/load a :class:`~repro.pipeline.pipeline.Pipeline` with its rules;
+* dump/load flow keys and ternary matches;
+* dump a Gigaflow cache's LTM rules (for diffing runs or feeding external
+  analysis).
+
+The format is plain JSON with hex-encoded field values, stable across
+versions of this library (a ``format`` tag is embedded).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..core.gigaflow import GigaflowCache
+from ..core.ltm import TAG_DONE
+from ..flow.actions import (
+    Action,
+    ActionList,
+    Controller,
+    Drop,
+    Output,
+    SetField,
+)
+from ..flow.fields import DEFAULT_SCHEMA, Field, FieldSchema
+from ..flow.key import FlowKey
+from ..flow.match import TernaryMatch
+from ..flow.wildcard import Wildcard
+from ..pipeline.pipeline import Pipeline
+from ..pipeline.rule import PipelineRule
+from ..pipeline.table import PipelineTable
+
+FORMAT_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """Raised on malformed input documents."""
+
+
+# -- schema ----------------------------------------------------------------------
+
+
+def schema_to_dict(schema: FieldSchema) -> Dict[str, Any]:
+    return {
+        "fields": [
+            {"name": f.name, "width": f.width, "layer": f.layer}
+            for f in schema
+        ]
+    }
+
+
+def schema_from_dict(doc: Dict[str, Any]) -> FieldSchema:
+    try:
+        fields = [
+            Field(f["name"], int(f["width"]), f["layer"])
+            for f in doc["fields"]
+        ]
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"bad schema document: {exc}") from exc
+    return FieldSchema(fields)
+
+
+# -- flows and matches --------------------------------------------------------------
+
+
+def flow_to_dict(flow: FlowKey) -> Dict[str, str]:
+    return {
+        field.name: hex(value)
+        for field, value in zip(flow.schema, flow.values)
+        if value
+    }
+
+
+def flow_from_dict(
+    doc: Dict[str, str], schema: FieldSchema = DEFAULT_SCHEMA
+) -> FlowKey:
+    try:
+        values = {name: int(text, 16) for name, text in doc.items()}
+    except ValueError as exc:
+        raise SerializationError(f"bad flow document: {exc}") from exc
+    return FlowKey.from_fields(values, schema)
+
+
+def match_to_dict(match: TernaryMatch) -> Dict[str, Any]:
+    fields = {}
+    for field, value, mask in zip(
+        match.schema, match.canonical_key, match.mask_tuple
+    ):
+        if mask:
+            fields[field.name] = {"value": hex(value), "mask": hex(mask)}
+    return {"fields": fields}
+
+
+def match_from_dict(
+    doc: Dict[str, Any], schema: FieldSchema = DEFAULT_SCHEMA
+) -> TernaryMatch:
+    try:
+        values = {
+            name: int(spec["value"], 16)
+            for name, spec in doc["fields"].items()
+        }
+        masks = {
+            name: int(spec["mask"], 16)
+            for name, spec in doc["fields"].items()
+        }
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(f"bad match document: {exc}") from exc
+    return TernaryMatch.from_fields(values, masks, schema)
+
+
+# -- actions -----------------------------------------------------------------------
+
+
+def action_to_dict(action: Action) -> Dict[str, Any]:
+    if isinstance(action, SetField):
+        return {"type": "set_field", "field": action.field,
+                "value": hex(action.value)}
+    if isinstance(action, Output):
+        return {"type": "output", "port": action.port}
+    if isinstance(action, Drop):
+        return {"type": "drop"}
+    if isinstance(action, Controller):
+        return {"type": "controller"}
+    raise SerializationError(f"unknown action type: {action!r}")
+
+
+def action_from_dict(doc: Dict[str, Any]) -> Action:
+    kind = doc.get("type")
+    if kind == "set_field":
+        return SetField(doc["field"], int(doc["value"], 16))
+    if kind == "output":
+        return Output(int(doc["port"]))
+    if kind == "drop":
+        return Drop()
+    if kind == "controller":
+        return Controller()
+    raise SerializationError(f"unknown action document: {doc}")
+
+
+def actions_to_list(actions: ActionList) -> List[Dict[str, Any]]:
+    return [action_to_dict(a) for a in actions]
+
+
+def actions_from_list(docs: List[Dict[str, Any]]) -> ActionList:
+    return ActionList([action_from_dict(d) for d in docs])
+
+
+# -- pipelines ------------------------------------------------------------------------
+
+
+def pipeline_to_dict(pipeline: Pipeline) -> Dict[str, Any]:
+    """Serialise a pipeline with every installed rule."""
+    tables = []
+    for table_id in pipeline.table_ids:
+        table = pipeline.table(table_id)
+        tables.append({
+            "id": table.table_id,
+            "name": table.name,
+            "match_fields": list(table.match_fields),
+            "miss_next_table": table.miss_next_table,
+            "rules": [
+                {
+                    "match": match_to_dict(rule.match),
+                    "priority": rule.priority,
+                    "actions": actions_to_list(rule.actions),
+                    "next_table": rule.next_table,
+                }
+                for rule in table
+            ],
+        })
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "pipeline",
+        "name": pipeline.name,
+        "start_table": pipeline.start_table,
+        "schema": schema_to_dict(pipeline.schema),
+        "tables": tables,
+    }
+
+
+def pipeline_from_dict(doc: Dict[str, Any]) -> Pipeline:
+    if doc.get("kind") != "pipeline":
+        raise SerializationError("document is not a pipeline")
+    if doc.get("format") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format {doc.get('format')!r}"
+        )
+    schema = schema_from_dict(doc["schema"])
+    tables = []
+    for spec in doc["tables"]:
+        tables.append(
+            PipelineTable(
+                int(spec["id"]),
+                spec["name"],
+                tuple(spec["match_fields"]),
+                schema=schema,
+                miss_next_table=spec.get("miss_next_table"),
+            )
+        )
+    pipeline = Pipeline(
+        doc["name"], tables, int(doc["start_table"]), schema
+    )
+    for spec in doc["tables"]:
+        for rule_doc in spec["rules"]:
+            rule = PipelineRule(
+                match=match_from_dict(rule_doc["match"], schema),
+                priority=int(rule_doc["priority"]),
+                actions=actions_from_list(rule_doc["actions"]),
+                next_table=rule_doc.get("next_table"),
+            )
+            pipeline.install(int(spec["id"]), rule)
+    return pipeline
+
+
+def dump_pipeline(pipeline: Pipeline, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(pipeline_to_dict(pipeline), handle, indent=1)
+
+
+def load_pipeline(path: str) -> Pipeline:
+    with open(path) as handle:
+        return pipeline_from_dict(json.load(handle))
+
+
+# -- gigaflow cache dumps ----------------------------------------------------------------
+
+
+def gigaflow_to_dict(cache: GigaflowCache) -> Dict[str, Any]:
+    """Dump the LTM rules per table (diagnostic snapshot)."""
+    tables = []
+    for table in cache.tables:
+        tables.append({
+            "index": table.index,
+            "capacity": table.capacity,
+            "rules": [
+                {
+                    "tag": rule.tag,
+                    "next_tag": (
+                        "done" if rule.next_tag == TAG_DONE
+                        else rule.next_tag
+                    ),
+                    "priority": rule.priority,
+                    "match": match_to_dict(rule.match),
+                    "actions": actions_to_list(rule.actions),
+                    "install_count": rule.install_count,
+                    "hit_count": rule.hit_count,
+                }
+                for rule in table
+            ],
+        })
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "gigaflow-cache",
+        "start_tag": cache.start_tag,
+        "tables": tables,
+    }
+
+
+def dump_gigaflow(cache: GigaflowCache, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(gigaflow_to_dict(cache), handle, indent=1)

@@ -1,0 +1,75 @@
+"""Aggregate-throughput model: what a hit rate buys at 100/400 Gbps.
+
+The paper's motivation (§1-§3): a SmartNIC serves cache hits at line rate
+while misses are bounded by CPU slow-path capacity (<10 Gbps per core).
+Aggregate throughput is therefore a hit-rate-weighted harmonic mixture —
+a small miss-rate increase collapses throughput long before the NIC is
+saturated.  This model quantifies that cliff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: §2.2: CPUs top out below ~10 Gbps of vSwitch processing per core.
+CPU_SLOWPATH_GBPS_PER_CORE = 8.0
+
+#: Line rates of the hardware discussed in the paper.
+LINE_RATE_GBPS = {
+    "fpga_100g": 100.0,   # the Alveo U250 prototype (§5)
+    "nic_400g": 400.0,    # modern SmartNIC ceilings (§1)
+}
+
+
+@dataclass(frozen=True)
+class ThroughputModel:
+    """Aggregate throughput for a cache+slow-path system.
+
+    Attributes:
+        line_rate_gbps: Hardware cache forwarding rate.
+        slowpath_gbps: Total slow-path capacity (cores × per-core rate).
+    """
+
+    line_rate_gbps: float = 100.0
+    slowpath_gbps: float = CPU_SLOWPATH_GBPS_PER_CORE
+
+    def __post_init__(self) -> None:
+        if self.line_rate_gbps <= 0 or self.slowpath_gbps <= 0:
+            raise ValueError("rates must be positive")
+
+    def achievable_gbps(self, hit_rate: float) -> float:
+        """Maximum sustained offered load (Gbps).
+
+        At offered load ``T``, hits consume ``T × h`` of the line rate and
+        misses consume ``T × (1-h)`` of slow-path capacity; the system
+        saturates at whichever bound binds first.
+        """
+        if not 0.0 <= hit_rate <= 1.0:
+            raise ValueError(f"hit rate out of range: {hit_rate}")
+        miss_rate = 1.0 - hit_rate
+        if miss_rate == 0.0:
+            return self.line_rate_gbps
+        if hit_rate == 0.0:
+            return self.slowpath_gbps
+        return min(
+            self.line_rate_gbps / hit_rate,
+            self.slowpath_gbps / miss_rate,
+        )
+
+    def required_hit_rate(self, target_gbps: float) -> float:
+        """Minimum hit rate to sustain ``target_gbps`` offered load."""
+        if target_gbps <= 0:
+            raise ValueError("target must be positive")
+        if target_gbps <= self.slowpath_gbps:
+            return 0.0
+        if target_gbps > self.line_rate_gbps:
+            raise ValueError(
+                f"target {target_gbps} Gbps exceeds the line rate "
+                f"{self.line_rate_gbps} Gbps"
+            )
+        # Misses must fit the slow path: T (1-h) <= slowpath.
+        return 1.0 - self.slowpath_gbps / target_gbps
+
+    def speedup_over(self, hit_a: float, hit_b: float) -> float:
+        """Throughput ratio of hit rate ``a`` over hit rate ``b``."""
+        return self.achievable_gbps(hit_a) / self.achievable_gbps(hit_b)

@@ -1,0 +1,21 @@
+"""SmartNIC-side artifact model: P4 LTM code generation + resource model."""
+
+from .codegen import (
+    P4GenConfig,
+    PAPER_PROTOTYPE_RESOURCES,
+    TAG_WIDTH,
+    count_match_keys,
+    estimate_resources,
+    generate_ltm_table,
+    generate_program,
+)
+
+__all__ = [
+    "P4GenConfig",
+    "PAPER_PROTOTYPE_RESOURCES",
+    "TAG_WIDTH",
+    "count_match_keys",
+    "estimate_resources",
+    "generate_ltm_table",
+    "generate_program",
+]

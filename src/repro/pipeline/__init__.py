@@ -1,0 +1,59 @@
+"""vSwitch slow-path substrate: tables, pipelines, traversals, Table 1 specs."""
+
+from .rule import PipelineRule
+from .table import (
+    PipelineTable,
+    TableLookup,
+    declared_wildcard,
+    make_tables,
+    tables_disjoint,
+)
+from .traversal import (
+    Disposition,
+    SubTraversal,
+    Traversal,
+    TraversalStep,
+    union_wildcards,
+)
+from .pipeline import ExecutionStats, Pipeline, PipelineLoopError
+from .library import (
+    ANT,
+    OFD,
+    OLS,
+    OTL,
+    PIPELINES,
+    PSC,
+    PipelineSpec,
+    TABLE1_EXPECTED,
+    TableSpec,
+    TraversalTemplate,
+    get_pipeline_spec,
+)
+
+__all__ = [
+    "ANT",
+    "Disposition",
+    "ExecutionStats",
+    "OFD",
+    "OLS",
+    "OTL",
+    "PIPELINES",
+    "PSC",
+    "Pipeline",
+    "PipelineLoopError",
+    "PipelineRule",
+    "PipelineSpec",
+    "PipelineTable",
+    "SubTraversal",
+    "TABLE1_EXPECTED",
+    "TableLookup",
+    "TableSpec",
+    "Traversal",
+    "TraversalStep",
+    "TraversalTemplate",
+    "declared_wildcard",
+    "get_pipeline_spec",
+    "make_tables",
+    "tables_disjoint",
+    "union_wildcards",
+]

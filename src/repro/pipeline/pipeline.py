@@ -1,0 +1,198 @@
+"""Pipeline: the programmable multi-table vSwitch slow path.
+
+Executing a flow through the pipeline yields a :class:`Traversal` — the
+trace Gigaflow partitions and caches.  The pipeline is the OVS userspace
+forwarding path of Fig. 5a.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..flow.actions import ActionList
+from ..flow.fields import DEFAULT_SCHEMA, FieldSchema
+from ..flow.key import FlowKey
+from .rule import PipelineRule
+from .table import PipelineTable
+from .traversal import Disposition, Traversal, TraversalStep
+
+
+class PipelineLoopError(RuntimeError):
+    """Raised when a flow exceeds the maximum table-lookup depth."""
+
+
+@dataclass
+class ExecutionStats:
+    """Aggregate slow-path counters, kept by the pipeline itself."""
+
+    executions: int = 0
+    lookups: int = 0
+    groups_probed: int = 0
+    by_disposition: Dict[Disposition, int] = field(default_factory=dict)
+
+    def record(self, traversal: Traversal, groups: int) -> None:
+        self.executions += 1
+        self.lookups += len(traversal)
+        self.groups_probed += groups
+        self.by_disposition[traversal.disposition] = (
+            self.by_disposition.get(traversal.disposition, 0) + 1
+        )
+
+
+class Pipeline:
+    """An ordered collection of :class:`PipelineTable` stages.
+
+    Attributes:
+        name: Pipeline identifier (e.g. ``"OLS"``).
+        start_table: ID of the entry table.
+        max_depth: Loop guard — OVS caps resubmissions similarly.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tables: Iterable[PipelineTable],
+        start_table: int = 0,
+        schema: FieldSchema = DEFAULT_SCHEMA,
+        max_depth: int = 64,
+    ):
+        self.name = name
+        self.schema = schema
+        self.max_depth = max_depth
+        self.tables: Dict[int, PipelineTable] = {}
+        for table in tables:
+            if table.table_id in self.tables:
+                raise ValueError(f"duplicate table id {table.table_id}")
+            if table.schema != schema:
+                raise ValueError(
+                    f"table {table.name!r} uses a different schema"
+                )
+            self.tables[table.table_id] = table
+        if start_table not in self.tables:
+            raise ValueError(f"start table {start_table} not in pipeline")
+        self.start_table = start_table
+        self.stats = ExecutionStats()
+        self._generation = 0
+
+    # -- structure -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def table(self, table_id: int) -> PipelineTable:
+        try:
+            return self.tables[table_id]
+        except KeyError:
+            raise KeyError(
+                f"pipeline {self.name!r} has no table {table_id}"
+            ) from None
+
+    @property
+    def table_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.tables))
+
+    @property
+    def rule_count(self) -> int:
+        return sum(len(t) for t in self.tables.values())
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped on every rule change; revalidation
+        compares cache-entry generations against it (§4.3.1)."""
+        return self._generation
+
+    # -- rule management ---------------------------------------------------------------
+
+    def install(self, table_id: int, rule: PipelineRule) -> None:
+        if rule.next_table is not None and rule.next_table not in self.tables:
+            raise ValueError(
+                f"rule jumps to unknown table {rule.next_table}"
+            )
+        self.table(table_id).insert(rule)
+        self._generation += 1
+
+    def remove(self, table_id: int, rule: PipelineRule) -> None:
+        self.table(table_id).remove(rule)
+        self._generation += 1
+
+    # -- execution ---------------------------------------------------------------------
+
+    def execute(self, flow: FlowKey, record_stats: bool = True) -> Traversal:
+        """Run ``flow`` through the pipeline and trace the traversal."""
+        steps: List[TraversalStep] = []
+        groups = 0
+        current = flow
+        table_id: Optional[int] = self.start_table
+        disposition = Disposition.CONTROLLER
+        while table_id is not None:
+            if len(steps) >= self.max_depth:
+                raise PipelineLoopError(
+                    f"flow exceeded max depth {self.max_depth} in pipeline "
+                    f"{self.name!r}: path {[s.table_id for s in steps]}"
+                )
+            table = self.table(table_id)
+            lookup = table.lookup(current)
+            groups += lookup.groups_probed
+            after = lookup.actions.apply(current)
+            steps.append(
+                TraversalStep(
+                    table_id=table_id,
+                    rule_id=lookup.rule.rule_id if lookup.rule else None,
+                    rule_priority=lookup.rule.priority if lookup.rule else 0,
+                    wildcard=lookup.wildcard,
+                    flow_before=current,
+                    flow_after=after,
+                    actions=lookup.actions,
+                    next_table=lookup.next_table,
+                )
+            )
+            current = after
+            if lookup.next_table is None:
+                disposition = _disposition_of(lookup.actions)
+            table_id = lookup.next_table
+        traversal = Traversal(tuple(steps), disposition)
+        if record_stats:
+            self.stats.record(traversal, groups)
+        return traversal
+
+    def replay(
+        self, flow: FlowKey, start_table: int, length: int
+    ) -> Traversal:
+        """Re-execute a flow from ``start_table`` for up to ``length``
+        tables — the revalidation primitive of §4.3.1 (sub-traversal
+        replays are shorter than full traversals, which is exactly where
+        Gigaflow's 2× revalidation speedup comes from)."""
+        steps: List[TraversalStep] = []
+        current = flow
+        table_id: Optional[int] = start_table
+        disposition = Disposition.CONTROLLER
+        while table_id is not None and len(steps) < length:
+            table = self.table(table_id)
+            lookup = table.lookup(current)
+            after = lookup.actions.apply(current)
+            steps.append(
+                TraversalStep(
+                    table_id=table_id,
+                    rule_id=lookup.rule.rule_id if lookup.rule else None,
+                    rule_priority=lookup.rule.priority if lookup.rule else 0,
+                    wildcard=lookup.wildcard,
+                    flow_before=current,
+                    flow_after=after,
+                    actions=lookup.actions,
+                    next_table=lookup.next_table,
+                )
+            )
+            current = after
+            if lookup.next_table is None:
+                disposition = _disposition_of(lookup.actions)
+            table_id = lookup.next_table
+        return Traversal(tuple(steps), disposition)
+
+
+def _disposition_of(actions: ActionList) -> Disposition:
+    if actions.output_port() is not None:
+        return Disposition.OUTPUT
+    if actions.drops():
+        return Disposition.DROP
+    return Disposition.CONTROLLER

@@ -1,0 +1,208 @@
+"""Traversals and sub-traversals (the paper's Fig. 1 and §4.2.1).
+
+A *traversal* is the complete linear sequence of table lookups a flow takes
+through the vSwitch pipeline: the table IDs ``T``, the evolving flow ``F``,
+and the per-table dependency wildcards ``W``.  A *sub-traversal* is a
+contiguous slice of a traversal; it is the unit Gigaflow caches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..flow.actions import ActionList
+from ..flow.key import FlowKey
+from ..flow.wildcard import Wildcard
+
+
+class Disposition(enum.Enum):
+    """How a traversal left the pipeline."""
+
+    OUTPUT = "output"
+    DROP = "drop"
+    CONTROLLER = "controller"
+
+
+@dataclass(frozen=True)
+class TraversalStep:
+    """One table lookup inside a traversal.
+
+    Attributes:
+        table_id: The pipeline table looked up (``T_i``).
+        rule_id: ID of the matched rule, or ``None`` for a default-fired miss.
+        rule_priority: Priority of the matched rule (0 for default).
+        wildcard: Header bits examined, including dependency bits (``W_i``),
+            expressed relative to the flow *as seen at this table*.
+        flow_before: The flow entering the table (``F^{i-1}``).
+        flow_after: The flow after this table's actions (``F^i``).
+        actions: The actions the table applied.
+        next_table: The following table ID, ``None`` when terminal.
+    """
+
+    table_id: int
+    rule_id: Optional[int]
+    rule_priority: int
+    wildcard: Wildcard
+    flow_before: FlowKey
+    flow_after: FlowKey
+    actions: ActionList
+    next_table: Optional[int]
+
+
+@dataclass(frozen=True)
+class Traversal:
+    """A complete trace of one slow-path execution: ``<T, F, W>``."""
+
+    steps: Tuple[TraversalStep, ...]
+    disposition: Disposition
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a traversal needs at least one step")
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def initial_flow(self) -> FlowKey:
+        return self.steps[0].flow_before
+
+    @property
+    def final_flow(self) -> FlowKey:
+        return self.steps[-1].flow_after
+
+    @property
+    def table_ids(self) -> Tuple[int, ...]:
+        """The table-ID path ``T`` (the traversal's shape)."""
+        return tuple(step.table_id for step in self.steps)
+
+    @property
+    def signature(self) -> Tuple[Tuple[int, Optional[int]], ...]:
+        """Identity of the traversal: (table, rule) pairs.  Two flows with
+        the same signature took exactly the same pipeline path."""
+        return tuple((s.table_id, s.rule_id) for s in self.steps)
+
+    def megaflow_wildcard(self) -> Wildcard:
+        """The single-rule wildcard Megaflow would cache: the union of every
+        ``W_i``, dropping contributions from fields already rewritten by an
+        earlier action (those depend on the pipeline, not the packet)."""
+        return union_wildcards(self.steps)
+
+    def sub(self, start: int, stop: int) -> "SubTraversal":
+        """The sub-traversal covering ``steps[start:stop]``."""
+        return SubTraversal(self, start, stop)
+
+    def partitions_of(
+        self, boundaries: Sequence[int]
+    ) -> Tuple["SubTraversal", ...]:
+        """Split at the given interior boundary indices (sorted, exclusive).
+
+        ``boundaries=[2, 4]`` over 6 steps yields slices [0:2], [2:4], [4:6].
+        """
+        cuts = [0, *boundaries, len(self.steps)]
+        for left, right in zip(cuts, cuts[1:]):
+            if left >= right:
+                raise ValueError(f"bad partition boundaries: {boundaries}")
+        return tuple(
+            self.sub(left, right) for left, right in zip(cuts, cuts[1:])
+        )
+
+
+class SubTraversal:
+    """A contiguous slice of a traversal — Gigaflow's caching unit."""
+
+    __slots__ = ("traversal", "start", "stop")
+
+    def __init__(self, traversal: Traversal, start: int, stop: int):
+        if not 0 <= start < stop <= len(traversal.steps):
+            raise ValueError(
+                f"bad sub-traversal bounds [{start}:{stop}] over "
+                f"{len(traversal.steps)} steps"
+            )
+        self.traversal = traversal
+        self.start = start
+        self.stop = stop
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def steps(self) -> Tuple[TraversalStep, ...]:
+        return self.traversal.steps[self.start : self.stop]
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def length(self) -> int:
+        """Number of pipeline tables spanned — the LTM priority ``ρ``."""
+        return self.stop - self.start
+
+    @property
+    def start_table(self) -> int:
+        """ID of the first table — the LTM tag ``τ`` this rule matches."""
+        return self.steps[0].table_id
+
+    @property
+    def next_table(self) -> Optional[int]:
+        """Expected table after the slice — the tag the rule advances to
+        (``None`` when the slice ends the traversal)."""
+        return self.steps[-1].next_table
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.stop == len(self.traversal.steps)
+
+    @property
+    def flow_at_entry(self) -> FlowKey:
+        return self.steps[0].flow_before
+
+    @property
+    def flow_at_exit(self) -> FlowKey:
+        return self.steps[-1].flow_after
+
+    # -- caching-relevant views -----------------------------------------------------
+
+    def effective_wildcard(self) -> Wildcard:
+        """The ``ω_k = ∪ W_i`` of §4.2.3, scoped to this slice: masks of
+        fields overwritten earlier *within the slice* do not propagate."""
+        return union_wildcards(self.steps)
+
+    def field_set(self) -> frozenset:
+        """Fields this sub-traversal matches on (disjointness unit)."""
+        return self.effective_wildcard().field_set()
+
+    def is_disjoint(self, other: "SubTraversal") -> bool:
+        """The paper's disjointedness property between two sub-traversals."""
+        return not (self.field_set() & other.field_set())
+
+    def signature(self) -> Tuple[Tuple[int, Optional[int]], ...]:
+        return tuple((s.table_id, s.rule_id) for s in self.steps)
+
+    def __repr__(self) -> str:
+        return (
+            f"SubTraversal(tables={[s.table_id for s in self.steps]}, "
+            f"tag={self.start_table}, next={self.next_table})"
+        )
+
+
+def union_wildcards(steps: Sequence[TraversalStep]) -> Wildcard:
+    """Union per-step wildcards, masking out fields rewritten by earlier
+    steps in the sequence (their later values derive from actions, not from
+    the original packet)."""
+    if not steps:
+        raise ValueError("cannot union zero steps")
+    accumulated: Optional[Wildcard] = None
+    modified: List[str] = []
+    for step in steps:
+        wildcard = step.wildcard
+        if modified:
+            wildcard = wildcard.subtract_fields(modified)
+        accumulated = (
+            wildcard if accumulated is None else accumulated.union(wildcard)
+        )
+        for name in step.actions.modified_fields():
+            if name not in modified:
+                modified.append(name)
+    return accumulated

@@ -1,0 +1,18 @@
+"""Text/DOT rendering of experiment results and cache state."""
+
+from .render import (
+    render_bars,
+    render_comparison,
+    render_series,
+    render_table,
+)
+from .dot import dump_dot, gigaflow_to_dot
+
+__all__ = [
+    "dump_dot",
+    "gigaflow_to_dot",
+    "render_bars",
+    "render_comparison",
+    "render_series",
+    "render_table",
+]

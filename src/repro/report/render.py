@@ -1,0 +1,101 @@
+"""Text rendering: aligned tables, ASCII bar charts and time series.
+
+The experiment drivers return plain data; this module turns them into the
+terminal output the examples and the ``reproduce_all`` report print.
+Everything is dependency-free text (this is a simulator, not a plotting
+package) but the renderers are structured so a notebook can feed the same
+data into matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """A right-aligned fixed-width table (first column left-aligned)."""
+    materialised: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        parts = [f"{cells[0]:<{widths[0]}}"]
+        parts += [
+            f"{cell:>{width}}"
+            for cell, width in zip(cells[1:], widths[1:])
+        ]
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(format_row(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def render_bars(
+    values: Dict[str, float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bars scaled to the maximum value."""
+    if not values:
+        return "(no data)"
+    peak = max(values.values())
+    label_width = max(len(k) for k in values)
+    lines = []
+    for key, value in values.items():
+        length = 0 if peak <= 0 else int(round(width * value / peak))
+        lines.append(
+            f"{key:<{label_width}}  {'#' * length:<{width}}  "
+            f"{value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Sequence[Tuple[float, float]],
+    width: int = 40,
+    y_format: str = "{:.1%}",
+) -> str:
+    """A vertical-scrolling time series (one row per sample)."""
+    if not series:
+        return "(no data)"
+    lines = []
+    for t, value in series:
+        bars = "#" * int(round(max(0.0, min(value, 1.0)) * width))
+        lines.append(f"t={t:8.1f}  {y_format.format(value):>7} {bars}")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    label_a: str,
+    label_b: str,
+    metrics: Dict[str, Tuple[float, float]],
+    better: str = "lower",
+) -> str:
+    """Side-by-side metric comparison with a winner column."""
+    if better not in ("lower", "higher"):
+        raise ValueError(f"better must be 'lower'/'higher', got {better!r}")
+    rows = []
+    for name, (a, b) in metrics.items():
+        if a == b:
+            winner = "tie"
+        elif (b < a) == (better == "lower"):
+            winner = label_b
+        else:
+            winner = label_a
+        rows.append((name, f"{a:g}", f"{b:g}", winner))
+    return render_table(("metric", label_a, label_b, "winner"), rows)

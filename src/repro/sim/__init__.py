@@ -1,0 +1,26 @@
+"""End-to-end simulation engine and result records."""
+
+from .engine import (
+    AdaptiveGigaflowSystem,
+    CachingSystem,
+    GigaflowSystem,
+    InstallCost,
+    MegaflowSystem,
+    SimConfig,
+    VSwitchSimulator,
+    run_comparison,
+)
+from .results import SimResult, TimeSeries
+
+__all__ = [
+    "AdaptiveGigaflowSystem",
+    "CachingSystem",
+    "GigaflowSystem",
+    "InstallCost",
+    "MegaflowSystem",
+    "SimConfig",
+    "SimResult",
+    "TimeSeries",
+    "VSwitchSimulator",
+    "run_comparison",
+]

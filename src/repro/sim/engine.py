@@ -1,0 +1,297 @@
+"""End-to-end vSwitch simulator: SmartNIC cache in front of the slow path.
+
+Replays a packet trace against a caching system (Megaflow or Gigaflow).
+Hits are served by the modelled SmartNIC; misses run the real multi-table
+pipeline, charge slow-path CPU, and install cache rules — exactly the
+Fig. 5a workflow.  Produces :class:`~repro.sim.results.SimResult` records
+from which every end-to-end figure (8, 9, 10, 12, 13, 18) is derived.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Tuple
+
+from ..cache.base import FlowCache
+from ..cache.megaflow import MegaflowCache
+from ..core.coverage import coverage as gigaflow_coverage
+from ..core.gigaflow import GigaflowCache
+from ..core.partition import Partitioner, disjoint_partition
+from ..flow.fields import DEFAULT_SCHEMA, FieldSchema
+from ..flow.packet import Packet
+from ..metrics.cpu import CpuBreakdown
+from ..metrics.latency import LatencyModel
+from ..pipeline.pipeline import Pipeline
+from ..pipeline.traversal import Disposition, Traversal
+from ..workload.pipebench import Trace
+from .results import SimResult, TimeSeries
+
+
+@dataclass
+class InstallCost:
+    """Slow-path work performed while installing one traversal."""
+
+    rules_generated: int = 0
+    rules_installed: int = 0
+    partition_cells: int = 0
+
+
+class CachingSystem(abc.ABC):
+    """Adapter pairing a cache with its install policy."""
+
+    name: str = "system"
+    cache: FlowCache
+
+    @abc.abstractmethod
+    def install(
+        self, traversal: Traversal, generation: int, now: float
+    ) -> InstallCost:
+        """Install cache state for a freshly-traced traversal."""
+
+    def coverage(self) -> Optional[int]:
+        """Rule-space coverage, when the system defines one."""
+        return None
+
+    def sharing(self) -> Optional[float]:
+        return None
+
+
+class MegaflowSystem(CachingSystem):
+    """The baseline: one wildcard rule per traversal (K=1)."""
+
+    name = "megaflow"
+
+    def __init__(
+        self,
+        capacity: int = 32768,
+        schema: FieldSchema = DEFAULT_SCHEMA,
+        start_table: int = 0,
+        eviction: str = "lru",
+    ):
+        self.cache = MegaflowCache(capacity, schema, eviction)
+        self.start_table = start_table
+
+    def install(
+        self, traversal: Traversal, generation: int, now: float
+    ) -> InstallCost:
+        installed = self.cache.install_traversal(
+            traversal, self.start_table, generation, now
+        )
+        return InstallCost(
+            rules_generated=1,
+            rules_installed=1 if installed else 0,
+            partition_cells=0,
+        )
+
+    def coverage(self) -> int:
+        return self.cache.entry_count()
+
+
+class GigaflowSystem(CachingSystem):
+    """The paper's system: K LTM tables with disjoint partitioning."""
+
+    name = "gigaflow"
+
+    def __init__(
+        self,
+        num_tables: int = 4,
+        table_capacity: int = 8192,
+        schema: FieldSchema = DEFAULT_SCHEMA,
+        start_tag: int = 0,
+        partitioner: Partitioner = disjoint_partition,
+        placement: str = "balanced",
+        eviction: str = "lru",
+    ):
+        self.cache = GigaflowCache(
+            num_tables=num_tables,
+            table_capacity=table_capacity,
+            schema=schema,
+            start_tag=start_tag,
+            partitioner=partitioner,
+            placement=placement,
+            eviction=eviction,
+        )
+
+    def install(
+        self, traversal: Traversal, generation: int, now: float
+    ) -> InstallCost:
+        outcome = self.cache.install_traversal(traversal, generation, now)
+        rules = outcome.installed + outcome.reused + outcome.rejected
+        return InstallCost(
+            rules_generated=rules,
+            rules_installed=outcome.installed,
+            partition_cells=len(traversal) * len(self.cache.tables),
+        )
+
+    def coverage(self) -> int:
+        return gigaflow_coverage(self.cache)
+
+    def sharing(self) -> float:
+        """Cumulative reoccurrence frequency (Fig. 11): how many times the
+        average sub-traversal was produced across all installs, counting
+        rules already evicted (the live cache may have been drained by
+        idle expiry by the end of a run)."""
+        insertions = self.cache.stats.insertions
+        if not insertions:
+            return 0.0
+        return 1.0 + self.cache.sharing_events / insertions
+
+
+class AdaptiveGigaflowSystem(GigaflowSystem):
+    """§7's profile-guided Gigaflow: partitions when sharing pays,
+    degrades to Megaflow-style single segments when it does not."""
+
+    name = "gigaflow-adaptive"
+
+    def __init__(
+        self,
+        num_tables: int = 4,
+        table_capacity: int = 8192,
+        schema: FieldSchema = DEFAULT_SCHEMA,
+        start_tag: int = 0,
+        adaptive_config=None,
+        **kwargs,
+    ):
+        from ..core.adaptive import AdaptiveConfig, AdaptiveGigaflowCache
+
+        self.cache = AdaptiveGigaflowCache(
+            num_tables=num_tables,
+            table_capacity=table_capacity,
+            schema=schema,
+            start_tag=start_tag,
+            config=adaptive_config or AdaptiveConfig(),
+            **kwargs,
+        )
+
+
+@dataclass
+class SimConfig:
+    """Simulation knobs.
+
+    Attributes:
+        max_idle: Seconds after which unused cache entries expire (§4.3.2).
+            0 disables idle eviction.
+        sweep_interval: How often the revalidator's idle sweep runs.
+        window: Time-series bucket width (seconds).
+        latency: The calibrated latency model for hit/miss mixing.
+    """
+
+    max_idle: float = 0.0
+    sweep_interval: float = 5.0
+    window: float = 10.0
+    latency: LatencyModel = field(default_factory=LatencyModel)
+
+
+class VSwitchSimulator:
+    """Drives packets through cache + slow path, collecting every metric."""
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        system: CachingSystem,
+        config: Optional[SimConfig] = None,
+    ):
+        self.pipeline = pipeline
+        self.system = system
+        self.config = config or SimConfig()
+
+    def run(self, trace: Trace) -> SimResult:
+        return self.run_packets(trace.packets(), len(trace))
+
+    def run_packets(
+        self, packets: Iterable[Packet], expected: Optional[int] = None
+    ) -> SimResult:
+        config = self.config
+        system = self.system
+        cache = system.cache
+        pipeline = self.pipeline
+        slowpath = config.latency.slowpath
+        cpu = CpuBreakdown()
+        series = TimeSeries(config.window)
+        latency_sum = 0.0
+        miss_cost_sum = 0.0
+        packet_count = 0
+        peak_entries = 0
+        next_sweep = config.sweep_interval
+
+        for packet in packets:
+            now = packet.timestamp
+            packet_count += 1
+            if config.max_idle > 0 and now >= next_sweep:
+                cache.evict_idle(now, config.max_idle)
+                next_sweep = now + config.sweep_interval
+
+            result = cache.lookup(packet.flow, now)
+            if result.hit:
+                latency_sum += config.latency.hit_us
+                series.record(now, hit=True)
+                continue
+
+            series.record(now, hit=False)
+            groups_before = pipeline.stats.groups_probed
+            traversal = pipeline.execute(packet.flow)
+            groups = pipeline.stats.groups_probed - groups_before
+            lookups = len(traversal)
+            cpu.charge_pipeline(lookups, groups)
+            miss_us = slowpath.pipeline_us(lookups, groups)
+
+            if traversal.disposition != Disposition.CONTROLLER:
+                cost = system.install(traversal, pipeline.generation, now)
+                if cost.partition_cells:
+                    cpu.charge_partition(
+                        lookups, cost.partition_cells // max(lookups, 1)
+                    )
+                    miss_us += slowpath.partition_us(
+                        lookups, cost.partition_cells // max(lookups, 1)
+                    )
+                cpu.charge_rulegen(
+                    cost.rules_generated, cost.rules_installed
+                )
+                miss_us += slowpath.rulegen_us(cost.rules_generated)
+                if cost.rules_installed:
+                    entries = cache.entry_count()
+                    if entries > peak_entries:
+                        peak_entries = entries
+
+            latency_sum += miss_us
+            miss_cost_sum += miss_us
+
+        stats = cache.stats.snapshot()
+        misses = stats.misses
+        return SimResult(
+            system=system.name,
+            stats=stats,
+            packets=packet_count,
+            entry_count=cache.entry_count(),
+            peak_entries=max(peak_entries, cache.entry_count()),
+            capacity=cache.capacity_total(),
+            avg_latency_us=(
+                latency_sum / packet_count if packet_count else 0.0
+            ),
+            avg_miss_cost_us=miss_cost_sum / misses if misses else 0.0,
+            cpu=cpu,
+            series=series,
+            sharing=system.sharing(),
+            coverage=system.coverage(),
+        )
+
+
+def run_comparison(
+    pipeline_factory,
+    trace_factory,
+    systems: Tuple[CachingSystem, ...],
+    config: Optional[SimConfig] = None,
+) -> Tuple[SimResult, ...]:
+    """Run several systems over identical fresh pipeline/trace instances.
+
+    Factories are invoked once per system so that pipeline statistics and
+    cache state never leak between runs.
+    """
+    results = []
+    for system in systems:
+        pipeline = pipeline_factory()
+        trace = trace_factory()
+        simulator = VSwitchSimulator(pipeline, system, config)
+        results.append(simulator.run(trace))
+    return tuple(results)

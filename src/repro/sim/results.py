@@ -1,0 +1,104 @@
+"""Result records produced by the end-to-end simulator."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..cache.base import CacheStats
+from ..metrics.cpu import CpuBreakdown
+
+
+class TimeSeries:
+    """Windowed hit/miss counts — Fig. 18's hit-rate-over-time curves."""
+
+    def __init__(self, window: float = 10.0):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._hits: Dict[int, int] = defaultdict(int)
+        self._misses: Dict[int, int] = defaultdict(int)
+
+    def record(self, now: float, hit: bool) -> None:
+        bucket = int(now // self.window)
+        if hit:
+            self._hits[bucket] += 1
+        else:
+            self._misses[bucket] += 1
+
+    def buckets(self) -> List[Tuple[float, float]]:
+        """Sorted ``(window start time, hit rate)`` pairs."""
+        out: List[Tuple[float, float]] = []
+        for bucket in sorted(set(self._hits) | set(self._misses)):
+            hits = self._hits.get(bucket, 0)
+            misses = self._misses.get(bucket, 0)
+            total = hits + misses
+            out.append((bucket * self.window, hits / total if total else 0.0))
+        return out
+
+    def hit_rate_between(self, start: float, stop: float) -> float:
+        """Aggregate hit rate over a time span."""
+        hits = misses = 0
+        for bucket in set(self._hits) | set(self._misses):
+            t = bucket * self.window
+            if start <= t < stop:
+                hits += self._hits.get(bucket, 0)
+                misses += self._misses.get(bucket, 0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+
+@dataclass
+class SimResult:
+    """Everything one simulation run produced.
+
+    Attributes:
+        system: Name of the caching system ("megaflow", "gigaflow", ...).
+        stats: Final cache counters (hits/misses/insertions/evictions).
+        packets: Packets simulated.
+        entry_count: Cache entries installed at end of run.
+        peak_entries: Maximum entries observed at any point — the paper's
+            "cache entries" metric (Figs. 3b, 10, 15, 16).
+        capacity: Total cache capacity.
+        avg_latency_us: Modelled mean per-packet latency.
+        avg_miss_cost_us: Modelled mean slow-path cost per miss.
+        cpu: Slow-path CPU cycle breakdown.
+        series: Windowed hit-rate time series.
+        sharing: Mean sub-traversal reuse (Gigaflow only, else None).
+        coverage: Rule-space coverage (Gigaflow chains / Megaflow entries).
+    """
+
+    system: str
+    stats: CacheStats
+    packets: int
+    entry_count: int
+    peak_entries: int
+    capacity: int
+    avg_latency_us: float
+    avg_miss_cost_us: float
+    cpu: CpuBreakdown
+    series: TimeSeries
+    sharing: Optional[float] = None
+    coverage: Optional[int] = None
+
+    @property
+    def hit_rate(self) -> float:
+        return self.stats.hit_rate
+
+    @property
+    def misses(self) -> int:
+        return self.stats.misses
+
+    @property
+    def occupancy(self) -> float:
+        """Peak fraction of capacity in use (Fig. 10's y-axis)."""
+        return self.peak_entries / self.capacity if self.capacity else 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        return (
+            f"{self.system}: hit_rate={self.hit_rate:.4f} "
+            f"misses={self.misses} peak_entries={self.peak_entries}/"
+            f"{self.capacity} avg_latency={self.avg_latency_us:.2f}us"
+        )

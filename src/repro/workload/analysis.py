@@ -1,0 +1,149 @@
+"""Workload analysis: the diagnostics behind Gigaflow's behaviour.
+
+Whether Gigaflow pays off for a workload is decided by a handful of
+measurable structural properties; this module computes them for a built
+:class:`~repro.workload.pipebench.PipebenchWorkload`:
+
+* traversal-shape statistics (lengths, unique paths, dispositions);
+* disjointness structure (groups per traversal — how much partitioning
+  freedom K tables have);
+* **segment-family sizes** — how many distinct LTM rules each
+  (tag, next_tag) segment type generates.  The largest family must fit a
+  single cache table (placement windows pin segment positions when a
+  partition uses all K tables), which makes this *the* capacity-planning
+  number for a Gigaflow deployment;
+* Megaflow-class and entry-demand estimates for both systems.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.gigaflow import GigaflowCache
+from ..core.ltm import TAG_DONE
+from ..core.partition import disjoint_boundaries, disjoint_partition
+from ..pipeline.traversal import Disposition
+from .pipebench import PipebenchWorkload
+
+
+@dataclass
+class WorkloadProfile:
+    """Structural summary of one workload.
+
+    Attributes:
+        n_flows: Unique flow classes.
+        traversal_lengths: Histogram of traversal lengths.
+        unique_paths: Distinct table-ID sequences.
+        dispositions: Flow counts per disposition (output/drop).
+        groups_per_traversal: Histogram of disjoint-group counts.
+        megaflow_demand: Entries Megaflow needs for the full workload
+            (= number of distinct megaflow classes).
+        gigaflow_demand: LTM rules Gigaflow needs for the full workload.
+        segment_families: (tag, next_tag) → distinct LTM rules; the
+            placement-critical histogram.
+        sharing: Mean traversals per distinct sub-traversal rule.
+    """
+
+    n_flows: int
+    traversal_lengths: Dict[int, int]
+    unique_paths: int
+    dispositions: Dict[str, int]
+    groups_per_traversal: Dict[int, int]
+    megaflow_demand: int
+    gigaflow_demand: int
+    segment_families: Dict[Tuple[int, object], int]
+    sharing: float
+
+    @property
+    def mean_traversal_length(self) -> float:
+        total = sum(k * v for k, v in self.traversal_lengths.items())
+        count = sum(self.traversal_lengths.values())
+        return total / count if count else 0.0
+
+    @property
+    def largest_family(self) -> int:
+        """Size of the biggest segment family — must fit one LTM table."""
+        return max(self.segment_families.values(), default=0)
+
+    @property
+    def demand_ratio(self) -> float:
+        """Gigaflow entries per Megaflow entry (the paper's ~0.25)."""
+        if not self.megaflow_demand:
+            return 0.0
+        return self.gigaflow_demand / self.megaflow_demand
+
+    def recommended_table_capacity(self, headroom: float = 1.25) -> int:
+        """Per-table capacity that fits the largest segment family with
+        the given headroom."""
+        return max(1, int(self.largest_family * headroom))
+
+
+def profile_workload(
+    workload: PipebenchWorkload,
+    k_tables: int = 4,
+) -> WorkloadProfile:
+    """Compute the full structural profile of a built workload."""
+    lengths: Counter = Counter()
+    paths = set()
+    dispositions: Counter = Counter()
+    group_counts: Counter = Counter()
+    megaflow_classes = set()
+
+    cache = GigaflowCache(num_tables=k_tables, table_capacity=1 << 30)
+    for pilot in workload.pilots:
+        traversal = pilot.traversal
+        lengths[len(traversal)] += 1
+        paths.add(traversal.table_ids)
+        dispositions[traversal.disposition.value] += 1
+        boundaries = disjoint_boundaries(traversal)
+        group_counts[1 + sum(boundaries)] += 1
+        megaflow_classes.add(
+            (traversal.initial_flow.masked(traversal.megaflow_wildcard()),
+             traversal.megaflow_wildcard().masks)
+        )
+        cache.install_traversal(traversal)
+
+    families: Counter = Counter()
+    for rule in cache:
+        families[(rule.tag, "done" if rule.next_tag == TAG_DONE
+                  else rule.next_tag)] += 1
+
+    return WorkloadProfile(
+        n_flows=workload.n_flows,
+        traversal_lengths=dict(lengths),
+        unique_paths=len(paths),
+        dispositions=dict(dispositions),
+        groups_per_traversal=dict(group_counts),
+        megaflow_demand=len(megaflow_classes),
+        gigaflow_demand=cache.entry_count(),
+        segment_families=dict(families),
+        sharing=cache.average_sharing(),
+    )
+
+
+def format_profile(profile: WorkloadProfile) -> str:
+    """A human-readable profile report."""
+    lines = [
+        f"flows:              {profile.n_flows}",
+        f"unique paths:       {profile.unique_paths}",
+        f"mean traversal len: {profile.mean_traversal_length:.1f}",
+        f"dispositions:       {profile.dispositions}",
+        f"megaflow demand:    {profile.megaflow_demand} entries",
+        f"gigaflow demand:    {profile.gigaflow_demand} entries "
+        f"({profile.demand_ratio:.0%} of megaflow)",
+        f"sub-traversal sharing: {profile.sharing:.2f}x",
+        f"largest segment family: {profile.largest_family} "
+        f"(recommended table capacity >= "
+        f"{profile.recommended_table_capacity()})",
+        "segment families (tag -> next): "
+        + ", ".join(
+            f"T{tag}->{nxt}:{count}"
+            for (tag, nxt), count in sorted(
+                profile.segment_families.items(),
+                key=lambda kv: -kv[1],
+            )[:8]
+        ),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Tests for the workload analysis / capacity-planning module."""
+
+import pytest
+
+from repro.pipeline import PSC
+from repro.workload import (
+    WorkloadProfile,
+    build_workload,
+    format_profile,
+    profile_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def profile():
+    workload = build_workload(PSC, n_flows=400, locality="high", seed=3)
+    return profile_workload(workload)
+
+
+class TestProfile:
+    def test_counts(self, profile):
+        assert profile.n_flows == 400
+        assert sum(profile.traversal_lengths.values()) == 400
+        assert profile.unique_paths >= 2  # PSC has >= 2 template shapes
+
+    def test_dispositions_cover_all_flows(self, profile):
+        assert sum(profile.dispositions.values()) == 400
+        assert "output" in profile.dispositions
+
+    def test_megaflow_demand_equals_classes(self, profile):
+        # Every unique flow class needs its own Megaflow entry.
+        assert profile.megaflow_demand == 400
+
+    def test_gigaflow_demand_smaller(self, profile):
+        assert 0 < profile.gigaflow_demand < profile.megaflow_demand
+        assert profile.demand_ratio < 1.0
+
+    def test_sharing_above_one(self, profile):
+        assert profile.sharing > 1.0
+
+    def test_segment_families_sum_to_demand(self, profile):
+        assert sum(profile.segment_families.values()) == \
+            profile.gigaflow_demand
+
+    def test_largest_family_and_recommendation(self, profile):
+        assert profile.largest_family >= 1
+        assert profile.recommended_table_capacity() >= \
+            profile.largest_family
+
+    def test_mean_traversal_length(self, profile):
+        assert 4.0 < profile.mean_traversal_length < 8.0  # PSC is 5-7
+
+    def test_groups_per_traversal(self, profile):
+        # PSC traversals expose several disjoint groups (that is the
+        # partitioning opportunity).
+        assert max(profile.groups_per_traversal) >= 3
+
+
+class TestFormatting:
+    def test_report_mentions_key_numbers(self, profile):
+        text = format_profile(profile)
+        assert "megaflow demand" in text
+        assert str(profile.n_flows) in text
+        assert "largest segment family" in text

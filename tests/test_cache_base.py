@@ -1,0 +1,66 @@
+"""Tests for cache base helpers and small LTM-table accessors."""
+
+from repro.cache.base import CacheResult, LruTracker, actions_result
+from repro.core.ltm import LtmTable
+from repro.flow import ActionList, Drop, Output
+from test_ltm import ltm_rule
+
+
+class TestLruTracker:
+    def test_touch_and_lru(self):
+        tracker = LruTracker()
+        tracker.touch("a", 1.0)
+        tracker.touch("b", 2.0)
+        assert tracker.lru_key() == "a"
+        tracker.touch("a", 3.0)
+        assert tracker.lru_key() == "b"
+
+    def test_idle_keys(self):
+        tracker = LruTracker()
+        tracker.touch("a", 0.0)
+        tracker.touch("b", 9.0)
+        assert tracker.idle_keys(now=10.0, max_idle=5.0) == ["a"]
+
+    def test_forget_and_clear(self):
+        tracker = LruTracker()
+        tracker.touch("a", 0.0)
+        tracker.forget("a")
+        assert tracker.lru_key() is None
+        tracker.touch("b", 0.0)
+        tracker.clear()
+        assert tracker.lru_key() is None
+
+    def test_forget_missing_is_noop(self):
+        LruTracker().forget("ghost")
+
+
+class TestCacheResult:
+    def test_actions_result_extracts_port(self):
+        result = actions_result(
+            ActionList([Output(4)]), groups_probed=2, tables_hit=1
+        )
+        assert result.hit
+        assert result.output_port == 4
+        assert result.groups_probed == 2
+
+    def test_drop_result_has_no_port(self):
+        result = actions_result(ActionList([Drop()]), 1, 1)
+        assert result.output_port is None
+
+    def test_miss_defaults(self):
+        miss = CacheResult(hit=False)
+        assert miss.actions is None
+        assert miss.tables_hit == 0
+
+
+class TestLtmTableGroups:
+    def test_mean_group_count_empty(self):
+        assert LtmTable(0, capacity=4).mean_group_count() == 0.0
+
+    def test_mean_group_count_counts_masks_per_tag(self):
+        table = LtmTable(0, capacity=16)
+        # Two distinct masks under tag 0, one under tag 1.
+        table.insert(ltm_rule({"tp_dst": 1}, tag=0))
+        table.insert(ltm_rule({"ip_proto": 6}, tag=0))
+        table.insert(ltm_rule({"tp_dst": 2}, tag=1))
+        assert table.mean_group_count() == (2 + 1) / 2

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_pipelines_command(self):
+        args = build_parser().parse_args(["pipelines"])
+        assert args.command == "pipelines"
+
+    def test_compare_arguments(self):
+        args = build_parser().parse_args(
+            ["compare", "psc", "--flows", "100", "--locality", "low"]
+        )
+        assert args.pipeline == "psc"
+        assert args.flows == 100
+        assert args.locality == "low"
+
+    def test_unknown_pipeline_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "nope"])
+
+
+class TestCommands:
+    def test_pipelines_lists_all(self, capsys):
+        assert main(["pipelines"]) == 0
+        out = capsys.readouterr().out
+        for name in ("OFD", "PSC", "OLS", "ANT", "OTL"):
+            assert name in out
+
+    def test_compare_runs_small(self, capsys):
+        code = main(
+            ["compare", "psc", "--flows", "300", "--capacity", "100"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "megaflow" in out
+        assert "gigaflow" in out
+        assert "hit-rate gain" in out
+
+    def test_sweep_runs_small(self, capsys):
+        code = main(
+            ["sweep", "psc", "--flows", "300", "--capacity", "100",
+             "--tables", "1", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out
+
+    def test_coverage_runs_small(self, capsys):
+        code = main(
+            ["coverage", "psc", "--flows", "300", "--capacity", "100"]
+        )
+        assert code == 0
+        assert "PSC" in capsys.readouterr().out

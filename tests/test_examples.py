@@ -1,0 +1,39 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "600")
+        assert result.returncode == 0, result.stderr
+        assert "Gigaflow" in result.stdout
+        assert "hit rate" in result.stdout
+
+    def test_custom_pipeline(self):
+        result = run_example("custom_pipeline.py")
+        assert result.returncode == 0, result.stderr
+        assert "cache hit = True" in result.stdout
+        assert "coverage" in result.stdout
+
+    def test_acl_policy_update(self):
+        result = run_example("acl_policy_update.py")
+        assert result.returncode == 0, result.stderr
+        assert "revalidation" in result.stdout
+        assert "evicted" in result.stdout

@@ -1,0 +1,63 @@
+"""Tests for the experiment infrastructure (scales, runners, caching)."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentScale,
+    PAPER_SCALE,
+    SMALL_SCALE,
+    fresh_workload,
+    make_gigaflow,
+    make_megaflow,
+)
+
+
+class TestExperimentScale:
+    def test_defaults_mirror_paper_ratio(self):
+        # ~3:1 flows to cache entries, like 100K:32K.
+        ratio = SMALL_SCALE.n_flows / SMALL_SCALE.cache_capacity
+        paper = PAPER_SCALE.n_flows / PAPER_SCALE.cache_capacity
+        assert ratio == pytest.approx(paper, rel=0.05)
+
+    def test_gf_table_capacity_divides_total(self):
+        scale = ExperimentScale(cache_capacity=1000, gf_tables=4)
+        assert scale.gf_table_capacity == 250
+
+    def test_trace_profile_fields(self):
+        profile = SMALL_SCALE.trace_profile()
+        assert profile.mean_flow_size == SMALL_SCALE.mean_flow_size
+        assert profile.duration == SMALL_SCALE.duration
+
+    def test_sim_config_window_override(self):
+        config = SMALL_SCALE.sim_config(window=3.0)
+        assert config.window == 3.0
+        assert config.max_idle == SMALL_SCALE.max_idle
+
+    def test_hashable_for_memoisation(self):
+        assert hash(SMALL_SCALE) == hash(ExperimentScale())
+
+
+class TestFactories:
+    def test_make_megaflow_capacity(self):
+        scale = ExperimentScale(cache_capacity=400)
+        assert make_megaflow(scale).cache.capacity == 400
+
+    def test_make_gigaflow_shape(self):
+        scale = ExperimentScale(cache_capacity=400, gf_tables=4)
+        system = make_gigaflow(scale)
+        assert len(system.cache.tables) == 4
+        assert system.cache.capacity_total() == 400
+
+    def test_make_gigaflow_overrides(self):
+        scale = ExperimentScale(cache_capacity=400)
+        system = make_gigaflow(scale, num_tables=2, placement="earliest")
+        assert len(system.cache.tables) == 2
+        assert system.cache.placement == "earliest"
+
+    def test_fresh_workloads_are_independent(self):
+        scale = ExperimentScale(n_flows=150, cache_capacity=50)
+        a = fresh_workload("PSC", "high", scale)
+        b = fresh_workload("PSC", "high", scale)
+        assert a is not b
+        assert a.pipeline is not b.pipeline
+        assert [p.flow for p in a.pilots] == [p.flow for p in b.pilots]

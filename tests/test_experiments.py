@@ -1,0 +1,156 @@
+"""Tests for the per-figure experiment drivers (tiny scale)."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    compare_partitioners,
+    compare_search_algorithms,
+    core_scaling,
+    dynamic_workloads,
+    eviction_ablation,
+    fig08_hit_rates,
+    fig13_cpu_breakdown,
+    hit_latency_table,
+    placement_ablation,
+    revalidation_comparison,
+    run_pair,
+    sweep_tables,
+    table1,
+    table1_matches_paper,
+    table2_coverage,
+    tuple_sharing,
+)
+
+#: Small enough to run in a couple of minutes, large enough that
+#: Gigaflow's entry demand (sub-linear in flows; ~33% of flows on PSC,
+#: including its largest per-table segment family) fits its cache while
+#: Megaflow's (100% of flows) does not — the paper's operating regime.
+TINY = ExperimentScale(n_flows=1200, cache_capacity=560)
+
+
+class TestTable1:
+    def test_matches_paper(self):
+        assert table1_matches_paper()
+        assert table1()["OLS"] == (30, 23)
+
+
+class TestFig04:
+    def test_curve_shape(self):
+        result = tuple_sharing(n_rules=2000, seed=0)
+        assert result.five_tuple_frequency < 1.1
+        assert result.partial_tuple_average > 5.0
+        assert result.n_rules == 2000
+
+
+class TestPairRunner:
+    def test_pair_has_both_systems(self):
+        pair = run_pair("PSC", "high", TINY)
+        assert pair.megaflow.system == "megaflow"
+        assert pair.gigaflow.system == "gigaflow"
+        assert pair.megaflow.packets == pair.gigaflow.packets
+
+    def test_memoised(self):
+        a = run_pair("PSC", "high", TINY)
+        b = run_pair("PSC", "high", TINY)
+        assert a is b
+
+    def test_gigaflow_wins_high_locality_psc(self):
+        pair = run_pair("PSC", "high", TINY)
+        assert pair.hit_rate_gain > 0
+        assert pair.miss_reduction > 0
+
+
+class TestFig03:
+    def test_more_tables_fewer_misses(self):
+        points = sweep_tables("PSC", k_values=(1, 4), scale=TINY)
+        assert points[-1].misses < points[0].misses
+        assert points[-1].coverage > points[0].coverage
+
+
+class TestTable2:
+    def test_coverage_ratios(self):
+        rows = table2_coverage(pipelines=("PSC", "OTL"), scale=TINY)
+        # PSC cross-products beat OTL's megaflow-like single segments.
+        assert rows["PSC"].ratio > rows["OTL"].ratio
+        assert rows["PSC"].ratio > 1.0
+
+    def test_formatting(self):
+        from repro.experiments import format_table2
+
+        rows = table2_coverage(pipelines=("PSC",), scale=TINY)
+        assert "PSC" in format_table2(rows)
+
+
+class TestFig16:
+    def test_dp_beats_rnd(self):
+        results = compare_partitioners("PSC", scale=TINY)
+        assert set(results) == {"megaflow", "rnd", "dp", "1-1"}
+        assert results["dp"].misses <= results["rnd"].misses
+
+    def test_one_to_one_uses_more_entries_than_dp(self):
+        results = compare_partitioners("PSC", scale=TINY)
+        assert results["1-1"].peak_entries > results["dp"].peak_entries
+
+
+class TestFig17:
+    def test_four_configs_ordering(self):
+        results = compare_search_algorithms("PSC", scale=TINY)
+        assert set(results) == {
+            "megaflow-tss", "megaflow-nm", "gigaflow-tss", "gigaflow-nm",
+        }
+        # NM trims the software search cost for the same system.
+        assert (results["megaflow-nm"].search_us
+                <= results["megaflow-tss"].search_us)
+        # Gigaflow's miss reduction dominates the search-algorithm gain.
+        assert (results["gigaflow-tss"].avg_latency_us
+                < results["megaflow-nm"].avg_latency_us)
+
+
+class TestFig18:
+    def test_megaflow_drops_gigaflow_sustains(self):
+        mf, gf = dynamic_workloads("PSC", scale=TINY)
+        assert mf.system == "megaflow"
+        assert gf.system == "gigaflow"
+        assert gf.hit_rate_after > mf.hit_rate_after
+        assert mf.drop > gf.drop
+
+
+class TestSec636:
+    def test_latency_table(self):
+        table = hit_latency_table()
+        assert table["fpga_offload"] < table["dpdk_host"]
+
+    def test_revalidation_speedup(self):
+        comparison = revalidation_comparison("PSC", scale=TINY)
+        assert comparison.speedup > 1.5  # paper: ~2x
+        assert comparison.megaflow_evicted == 0
+        assert comparison.gigaflow_evicted == 0
+        assert comparison.megaflow_ms > comparison.gigaflow_ms
+
+
+class TestFig19:
+    def test_per_core_scaling(self):
+        result = core_scaling("PSC", cores=(1, 2, 4), scale=TINY)
+        mf = result.megaflow_by_cores
+        assert mf[2] == mf[1] / 2
+        gf = result.gigaflow_by_cores
+        assert all(gf[n] <= mf[n] for n in (1, 2, 4))
+
+
+class TestFig13:
+    def test_gigaflow_overhead_positive(self):
+        rows = fig13_cpu_breakdown(scale=TINY)
+        assert set(rows) == {"OFD", "PSC", "OLS", "ANT", "OTL"}
+        for row in rows.values():
+            assert row.overhead_fraction > 0.0
+
+
+class TestAblations:
+    def test_placement_variants_run(self):
+        results = placement_ablation("PSC", scale=TINY)
+        assert set(results) == {"balanced", "earliest"}
+
+    def test_eviction_variants_run(self):
+        results = eviction_ablation("PSC", scale=TINY)
+        assert set(results) == {"lru", "reject"}

@@ -1,0 +1,123 @@
+"""Tests for JSON serialisation round trips."""
+
+import json
+
+import pytest
+
+from repro.core import GigaflowCache
+from repro.flow import (
+    ActionList,
+    Controller,
+    Drop,
+    DEFAULT_SCHEMA,
+    Output,
+    SetField,
+)
+from repro.io import (
+    SerializationError,
+    action_from_dict,
+    action_to_dict,
+    dump_gigaflow,
+    dump_pipeline,
+    flow_from_dict,
+    flow_to_dict,
+    gigaflow_to_dict,
+    load_pipeline,
+    match_from_dict,
+    match_to_dict,
+    pipeline_from_dict,
+    pipeline_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.flow import TernaryMatch, ip, prefix_mask
+from conftest import flow
+
+
+class TestScalarRoundTrips:
+    def test_schema(self):
+        doc = schema_to_dict(DEFAULT_SCHEMA)
+        assert schema_from_dict(doc) == DEFAULT_SCHEMA
+
+    def test_schema_malformed(self):
+        with pytest.raises(SerializationError):
+            schema_from_dict({"fields": [{"name": "x"}]})
+
+    def test_flow(self):
+        original = flow()
+        assert flow_from_dict(flow_to_dict(original)) == original
+
+    def test_flow_malformed(self):
+        with pytest.raises(SerializationError):
+            flow_from_dict({"in_port": "zz"})
+
+    def test_match(self):
+        original = TernaryMatch.from_fields(
+            {"ip_dst": ip("10.0.0.0"), "tp_dst": 443},
+            masks={"ip_dst": prefix_mask(8), "tp_dst": 0xFFFF},
+        )
+        assert match_from_dict(match_to_dict(original)) == original
+
+    @pytest.mark.parametrize("action", [
+        SetField("tp_dst", 80), Output(7), Drop(), Controller(),
+    ])
+    def test_actions(self, action):
+        assert action_from_dict(action_to_dict(action)) == action
+
+    def test_unknown_action(self):
+        with pytest.raises(SerializationError):
+            action_from_dict({"type": "teleport"})
+
+
+class TestPipelineRoundTrip:
+    def test_round_trip_preserves_semantics(self, mini_pipeline,
+                                            default_flow):
+        doc = pipeline_to_dict(mini_pipeline)
+        clone = pipeline_from_dict(doc)
+        original = mini_pipeline.execute(default_flow)
+        replayed = clone.execute(default_flow)
+        assert replayed.table_ids == original.table_ids
+        assert replayed.disposition == original.disposition
+        assert replayed.final_flow == original.final_flow
+        assert clone.rule_count == mini_pipeline.rule_count
+
+    def test_document_is_json_stable(self, mini_pipeline):
+        doc = pipeline_to_dict(mini_pipeline)
+        text = json.dumps(doc)
+        assert pipeline_from_dict(json.loads(text)).name == "mini"
+
+    def test_kind_checked(self):
+        with pytest.raises(SerializationError):
+            pipeline_from_dict({"kind": "sandwich"})
+
+    def test_version_checked(self, mini_pipeline):
+        doc = pipeline_to_dict(mini_pipeline)
+        doc["format"] = 999
+        with pytest.raises(SerializationError):
+            pipeline_from_dict(doc)
+
+    def test_file_round_trip(self, mini_pipeline, default_flow, tmp_path):
+        path = str(tmp_path / "pipeline.json")
+        dump_pipeline(mini_pipeline, path)
+        clone = load_pipeline(path)
+        assert clone.execute(default_flow).disposition == \
+            mini_pipeline.execute(default_flow).disposition
+
+
+class TestGigaflowDump:
+    def test_dump_structure(self, mini_pipeline, default_flow, tmp_path):
+        cache = GigaflowCache(num_tables=4, table_capacity=8)
+        cache.install_traversal(mini_pipeline.execute(default_flow))
+        doc = gigaflow_to_dict(cache)
+        assert doc["kind"] == "gigaflow-cache"
+        total_rules = sum(len(t["rules"]) for t in doc["tables"])
+        assert total_rules == cache.entry_count()
+        terminal = [
+            r for t in doc["tables"] for r in t["rules"]
+            if r["next_tag"] == "done"
+        ]
+        assert len(terminal) == 1
+        path = str(tmp_path / "cache.json")
+        dump_gigaflow(cache, path)
+        with open(path) as handle:
+            assert json.load(handle)["kind"] == "gigaflow-cache"

@@ -1,0 +1,82 @@
+"""Tests for the P4 code generator and FPGA resource model (§5)."""
+
+import pytest
+
+from repro.flow import DEFAULT_SCHEMA
+from repro.p4 import (
+    P4GenConfig,
+    PAPER_PROTOTYPE_RESOURCES,
+    count_match_keys,
+    estimate_resources,
+    generate_ltm_table,
+    generate_program,
+)
+
+
+class TestCodegen:
+    def test_default_program_has_four_tables(self):
+        program = generate_program()
+        for i in range(4):
+            assert f"table ltm_table_{i}" in program
+        assert "table ltm_table_4" not in program
+
+    def test_fig6_match_structure(self):
+        """Fig. 6: exact match on the tag + ternary on ten header fields."""
+        program = generate_program()
+        assert "meta.table_tag : exact" in program
+        assert count_match_keys(program) == 1 + len(DEFAULT_SCHEMA)
+        for field in DEFAULT_SCHEMA:
+            assert f"hdr.{field.name}" in program
+
+    def test_fig6_actions_present(self):
+        program = generate_program()
+        for action in ("update_table_tag", "forward", "drop_packet",
+                       "NoAction"):
+            assert action in program
+        # Header-rewrite actions exist for every field.
+        for field in DEFAULT_SCHEMA:
+            assert f"action set_{field.name}" in program
+
+    def test_table_size_matches_config(self):
+        program = generate_program(
+            config=P4GenConfig(num_tables=2, entries_per_table=123)
+        )
+        assert "size = 123;" in program
+        assert "table ltm_table_1" in program
+        assert "table ltm_table_2" not in program
+
+    def test_single_table(self):
+        table = generate_ltm_table(0)
+        assert "ltm_table_0" in table
+        assert "size = 8192;" in table
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            P4GenConfig(num_tables=0)
+        with pytest.raises(ValueError):
+            P4GenConfig(entries_per_table=0)
+
+
+class TestResourceModel:
+    def test_paper_point_reproduced(self):
+        """The 4x8K config returns exactly the paper's utilisation."""
+        resources = estimate_resources()
+        assert resources["lut_fraction"] == pytest.approx(0.47)
+        assert resources["ff_fraction"] == pytest.approx(0.33)
+        assert resources["bram_fraction"] == pytest.approx(0.49)
+        assert resources["power_watts"] == pytest.approx(38.0)
+        assert resources["line_rate_gbps"] == 100
+
+    def test_power_under_pcie_budget(self):
+        """§3: SmartNICs live within a 75 W PCIe budget."""
+        assert PAPER_PROTOTYPE_RESOURCES["power_watts"] < 75
+
+    def test_memory_scales_with_entries(self):
+        small = estimate_resources(P4GenConfig(entries_per_table=1024))
+        big = estimate_resources(P4GenConfig(entries_per_table=16384))
+        assert small["bram_fraction"] < big["bram_fraction"]
+
+    def test_logic_scales_with_tables(self):
+        k2 = estimate_resources(P4GenConfig(num_tables=2))
+        k8 = estimate_resources(P4GenConfig(num_tables=8))
+        assert k2["lut_fraction"] < k8["lut_fraction"]

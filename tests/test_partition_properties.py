@@ -1,0 +1,101 @@
+"""Property-based tests for partitioning and LTM rule generation."""
+
+import itertools
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import (
+    RandomPartitioner,
+    build_ltm_rules,
+    disjoint_partition,
+    partition_score,
+)
+from repro.core.ltm import TAG_DONE
+from test_partition import grouped_traversal
+
+#: Field names usable as single-field stages; picked from different
+#: layers so group boundaries actually occur.
+FIELDS = ["in_port", "eth_src", "eth_dst", "vlan_id", "ip_src",
+          "ip_dst", "ip_proto", "tp_src", "tp_dst"]
+
+
+@st.composite
+def group_shapes(draw):
+    """Random disjoint-group shapes like [['eth_src','eth_src'],['ip_dst']].
+
+    Consecutive groups use different fields (so boundaries are real);
+    stages inside a group repeat one field (so it is cohesive).
+    """
+    n_groups = draw(st.integers(1, 4))
+    indices = draw(
+        st.lists(
+            st.integers(0, len(FIELDS) - 1),
+            min_size=n_groups, max_size=n_groups,
+        )
+    )
+    # Force adjacent groups onto different fields.
+    for i in range(1, n_groups):
+        if indices[i] == indices[i - 1]:
+            indices[i] = (indices[i] + 1) % len(FIELDS)
+    shape = []
+    for index in indices:
+        size = draw(st.integers(1, 3))
+        shape.append([FIELDS[index]] * size)
+    return shape
+
+
+class TestPartitionProperties:
+    @given(group_shapes(), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_covers_traversal_contiguously(self, shape, k):
+        traversal = grouped_traversal(shape)
+        partition = disjoint_partition(traversal, k)
+        assert len(partition) <= k
+        assert partition[0].start == 0
+        assert partition[-1].stop == len(traversal)
+        for left, right in zip(partition, partition[1:]):
+            assert left.stop == right.start
+
+    @given(group_shapes(), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_dp_is_optimal(self, shape, k):
+        traversal = grouped_traversal(shape)
+        n = len(traversal)
+        got = partition_score(traversal, disjoint_partition(traversal, k))
+        best = 0
+        for m in range(1, min(k, n) + 1):
+            for cuts in itertools.combinations(range(1, n), m - 1):
+                candidate = traversal.partitions_of(list(cuts))
+                best = max(best, partition_score(traversal, candidate))
+        assert got == best
+
+    @given(group_shapes(), st.integers(2, 5), st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_random_partitioner_always_valid(self, shape, k, seed):
+        traversal = grouped_traversal(shape)
+        partition = RandomPartitioner(seed)(traversal, k)
+        assert 1 <= len(partition) <= min(k, len(traversal))
+        assert sum(len(p) for p in partition) == len(traversal)
+
+
+class TestRulegenProperties:
+    @given(group_shapes(), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_tag_chain_links_and_commit_replays(self, shape, k):
+        traversal = grouped_traversal(shape)
+        partition = disjoint_partition(traversal, k)
+        rules = build_ltm_rules(partition)
+        # Tags chain from the first table to DONE.
+        assert rules[0].tag == traversal.steps[0].table_id
+        for prev, nxt in zip(rules, rules[1:]):
+            assert prev.next_tag == nxt.tag
+        assert rules[-1].next_tag == TAG_DONE
+        # Replaying every commit reproduces the traversal's final flow.
+        current = traversal.initial_flow
+        for rule in rules:
+            assert rule.match.matches(current)
+            current = rule.actions.apply(current)
+        assert current == traversal.final_flow
+        # Priorities equal segment lengths and sum to the traversal.
+        assert sum(r.priority for r in rules) == len(traversal)

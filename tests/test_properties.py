@@ -1,0 +1,253 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.classify import PrefixTrie, TupleSpaceClassifier
+from repro.flow import (
+    ActionList,
+    DEFAULT_SCHEMA,
+    FlowKey,
+    Output,
+    TernaryMatch,
+    Wildcard,
+)
+from repro.pipeline import PipelineRule
+
+# -- strategies ---------------------------------------------------------------
+
+field_widths = [f.width for f in DEFAULT_SCHEMA]
+
+
+@st.composite
+def flow_keys(draw):
+    values = [
+        draw(st.integers(0, (1 << width) - 1)) for width in field_widths
+    ]
+    return FlowKey(DEFAULT_SCHEMA, values)
+
+
+@st.composite
+def wildcards(draw):
+    masks = [
+        draw(st.integers(0, (1 << width) - 1)) for width in field_widths
+    ]
+    return Wildcard(DEFAULT_SCHEMA, masks)
+
+
+@st.composite
+def matches(draw):
+    return TernaryMatch(draw(flow_keys()), draw(wildcards()))
+
+
+@st.composite
+def ip_prefixes(draw):
+    plen = draw(st.integers(0, 32))
+    value = draw(st.integers(0, (1 << 32) - 1))
+    if plen:
+        value &= ((1 << plen) - 1) << (32 - plen)
+    else:
+        value = 0
+    return value, plen
+
+
+# -- wildcard algebra -----------------------------------------------------------
+
+
+class TestWildcardAlgebra:
+    @given(wildcards(), wildcards())
+    def test_union_commutative(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(wildcards(), wildcards(), wildcards())
+    def test_union_associative(self, a, b, c):
+        assert a.union(b).union(c) == a.union(b.union(c))
+
+    @given(wildcards())
+    def test_union_idempotent(self, a):
+        assert a.union(a) == a
+
+    @given(wildcards(), wildcards())
+    def test_union_covers_operands(self, a, b):
+        union = a.union(b)
+        assert union.covers(a)
+        assert union.covers(b)
+
+    @given(wildcards(), wildcards())
+    def test_intersection_covered_by_operands(self, a, b):
+        inter = a.intersection(b)
+        assert a.covers(inter)
+        assert b.covers(inter)
+
+    @given(wildcards(), wildcards())
+    def test_disjoint_symmetric(self, a, b):
+        assert a.is_disjoint(b) == b.is_disjoint(a)
+
+    @given(wildcards())
+    def test_empty_disjoint_with_anything(self, a):
+        assert Wildcard.empty().is_disjoint(a)
+
+    @given(wildcards())
+    def test_bit_count_bounds(self, a):
+        assert 0 <= a.bit_count() <= sum(field_widths)
+
+
+# -- match semantics ---------------------------------------------------------------
+
+
+class TestMatchSemantics:
+    @given(flow_keys(), wildcards())
+    def test_flow_matches_its_own_projection(self, flow, wildcard):
+        match = TernaryMatch(flow, wildcard)
+        assert match.matches(flow)
+
+    @given(flow_keys(), flow_keys(), wildcards())
+    def test_match_ignores_unmasked_bits(self, a, b, wildcard):
+        match = TernaryMatch(a, wildcard)
+        blended_values = [
+            (av & mask) | (bv & ~mask & ((1 << width) - 1))
+            for av, bv, mask, width in zip(
+                a.values, b.values, wildcard.masks, field_widths
+            )
+        ]
+        blended = FlowKey(DEFAULT_SCHEMA, blended_values)
+        assert match.matches(blended)
+
+    @given(matches(), matches())
+    def test_subsumption_implies_overlap(self, a, b):
+        if a.subsumes(b):
+            assert a.overlaps(b)
+
+    @given(matches())
+    def test_overlap_reflexive(self, a):
+        assert a.overlaps(a)
+        assert a.subsumes(a)
+
+    @given(matches(), matches())
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+
+# -- prefix trie ---------------------------------------------------------------------
+
+
+class TestTrieProperties:
+    @given(st.lists(ip_prefixes(), min_size=1, max_size=30),
+           st.integers(0, (1 << 32) - 1))
+    @settings(max_examples=60)
+    def test_unwildcard_bits_are_sufficient(self, prefixes, value):
+        """Any value agreeing on the returned bits has the same match/miss
+        relationship to every stored prefix."""
+        trie = PrefixTrie()
+        for pvalue, plen in prefixes:
+            trie.insert(pvalue, plen)
+        bits = trie.unwildcard_bits(value)
+        mask = ((1 << bits) - 1) << (32 - bits) if bits else 0
+
+        def relationship(v):
+            out = []
+            for pvalue, plen in prefixes:
+                pmask = ((1 << plen) - 1) << (32 - plen) if plen else 0
+                out.append((v & pmask) == pvalue)
+            return out
+
+        # Flip every bit outside the mask in turn.
+        for bit in range(32):
+            flip = 1 << bit
+            if mask & flip:
+                continue
+            assert relationship(value ^ flip) == relationship(value)
+
+    @given(st.lists(ip_prefixes(), min_size=1, max_size=20))
+    @settings(max_examples=40)
+    def test_insert_remove_round_trip(self, prefixes):
+        trie = PrefixTrie()
+        for value, plen in prefixes:
+            trie.insert(value, plen)
+        for value, plen in prefixes:
+            trie.remove(value, plen)
+        assert len(trie) == 0
+        assert trie.unwildcard_bits(0) == 0
+
+
+# -- TSS classifier ---------------------------------------------------------------------
+
+
+@st.composite
+def simple_rules(draw):
+    """Rules over a small value domain to force overlaps."""
+    plen = draw(st.sampled_from([0, 8, 16, 24, 32]))
+    ip_value = draw(st.integers(0, 3)) << 24 | draw(st.integers(0, 3)) << 8
+    if plen:
+        ip_value &= ((1 << plen) - 1) << (32 - plen)
+    else:
+        ip_value = 0
+    port = draw(st.integers(0, 3))
+    port_exact = draw(st.booleans())
+    match = TernaryMatch.from_fields(
+        {"ip_dst": ip_value, "tp_dst": port},
+        masks={
+            "ip_dst": ((1 << plen) - 1) << (32 - plen) if plen else 0,
+            "tp_dst": 0xFFFF if port_exact else 0,
+        },
+    )
+    return PipelineRule(
+        match=match,
+        priority=draw(st.integers(1, 20)),
+        actions=ActionList([Output(1)]),
+    )
+
+
+class TestTssProperties:
+    @given(st.lists(simple_rules(), min_size=1, max_size=40),
+           st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_tss_agrees_with_linear_scan(self, rules, data):
+        classifier = TupleSpaceClassifier(DEFAULT_SCHEMA)
+        for rule in rules:
+            classifier.insert(rule)
+        probe = FlowKey.from_fields({
+            "ip_dst": data.draw(st.integers(0, 3)) << 24
+            | data.draw(st.integers(0, 3)) << 8,
+            "tp_dst": data.draw(st.integers(0, 3)),
+        })
+        got = classifier.lookup(probe).rule
+        expected_priority = max(
+            (r.priority for r in rules if r.match.matches(probe)),
+            default=None,
+        )
+        if expected_priority is None:
+            assert got is None
+        else:
+            assert got is not None
+            assert got.priority == expected_priority
+
+    @given(st.lists(simple_rules(), min_size=1, max_size=40), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_unwildcard_invariant(self, rules, data):
+        """The cache-correctness invariant: any flow equal on the returned
+        wildcard bits resolves to the same rule."""
+        classifier = TupleSpaceClassifier(DEFAULT_SCHEMA)
+        for rule in rules:
+            classifier.insert(rule)
+        probe = FlowKey.from_fields({
+            "ip_dst": data.draw(st.integers(0, 3)) << 24,
+            "tp_dst": data.draw(st.integers(0, 3)),
+        })
+        result = classifier.lookup(probe, unwildcard=True)
+        # Build a perturbed flow: flip free bits of ip_dst/tp_dst.
+        wc = result.wildcard
+        ip_index = DEFAULT_SCHEMA.index_of("ip_dst")
+        tp_index = DEFAULT_SCHEMA.index_of("tp_dst")
+        free_ip = ~wc.masks[ip_index] & 0xFFFFFFFF
+        free_tp = ~wc.masks[tp_index] & 0xFFFF
+        perturbed = FlowKey.from_fields({
+            "ip_dst": probe.get("ip_dst") ^ (free_ip & 0x0101_0101),
+            "tp_dst": probe.get("tp_dst") ^ (free_tp & 0x3),
+        })
+        other = classifier.lookup(perturbed).rule
+        if result.rule is None:
+            assert other is None
+        else:
+            assert other is result.rule

@@ -1,0 +1,142 @@
+"""Tests for the end-to-end simulation engine."""
+
+import pytest
+
+from repro.pipeline import PSC
+from repro.sim import (
+    GigaflowSystem,
+    MegaflowSystem,
+    SimConfig,
+    VSwitchSimulator,
+)
+from repro.sim.results import TimeSeries
+from repro.workload import TraceProfile, build_workload
+
+N_FLOWS = 300
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(PSC, n_flows=N_FLOWS, locality="high", seed=11)
+
+
+def fresh():
+    return build_workload(PSC, n_flows=N_FLOWS, locality="high", seed=11)
+
+
+class TestSimulatorBasics:
+    def test_every_packet_accounted(self, workload):
+        w = fresh()
+        trace = w.trace(seed=1)
+        result = VSwitchSimulator(w.pipeline, MegaflowSystem(capacity=1000)).run(trace)
+        assert result.packets == len(trace)
+        assert result.stats.hits + result.stats.misses == result.packets
+
+    def test_first_packet_of_each_flow_misses_cold(self):
+        w = fresh()
+        result = VSwitchSimulator(
+            w.pipeline, MegaflowSystem(capacity=10**6)
+        ).run(w.trace(seed=1))
+        # Compulsory misses only: exactly one per flow class.
+        assert result.misses == N_FLOWS
+
+    def test_gigaflow_pre_covers_some_flows(self):
+        w = fresh()
+        result = VSwitchSimulator(
+            w.pipeline, GigaflowSystem(num_tables=4, table_capacity=10**6)
+        ).run(w.trace(seed=1))
+        # Cross-products cover flows never sent to the slow path.
+        assert result.misses < N_FLOWS
+
+    def test_latency_accounting(self):
+        w = fresh()
+        result = VSwitchSimulator(
+            w.pipeline, MegaflowSystem(capacity=10**6)
+        ).run(w.trace(seed=1))
+        assert result.avg_latency_us > 8.62  # at least the hit latency
+        assert result.avg_miss_cost_us > result.avg_latency_us
+
+    def test_cpu_breakdown_megaflow_has_no_partition_cost(self):
+        w = fresh()
+        result = VSwitchSimulator(
+            w.pipeline, MegaflowSystem(capacity=10**6)
+        ).run(w.trace(seed=1))
+        assert result.cpu.partition_cycles == 0
+        assert result.cpu.pipeline_cycles > 0
+
+    def test_cpu_breakdown_gigaflow_has_partition_cost(self):
+        w = fresh()
+        result = VSwitchSimulator(
+            w.pipeline, GigaflowSystem(num_tables=4, table_capacity=10**6)
+        ).run(w.trace(seed=1))
+        assert result.cpu.partition_cycles > 0
+        assert result.cpu.rulegen_cycles > 0
+
+    def test_peak_entries_tracked(self):
+        w = fresh()
+        config = SimConfig(max_idle=5.0, sweep_interval=2.0)
+        result = VSwitchSimulator(
+            w.pipeline, MegaflowSystem(capacity=10**6), config
+        ).run(w.trace(seed=1))
+        assert result.peak_entries >= result.entry_count
+        assert result.peak_entries > 0
+
+    def test_idle_sweep_evicts(self):
+        w = fresh()
+        config = SimConfig(max_idle=2.0, sweep_interval=1.0)
+        system = MegaflowSystem(capacity=10**6)
+        result = VSwitchSimulator(w.pipeline, system, config).run(
+            w.trace(seed=1)
+        )
+        assert system.cache.stats.evictions > 0
+
+    def test_summary_format(self):
+        w = fresh()
+        result = VSwitchSimulator(
+            w.pipeline, MegaflowSystem(capacity=100)
+        ).run(w.trace(seed=1))
+        text = result.summary()
+        assert "megaflow" in text
+        assert "hit_rate" in text
+
+
+class TestTimeSeries:
+    def test_bucketing(self):
+        series = TimeSeries(window=10.0)
+        series.record(1.0, hit=True)
+        series.record(2.0, hit=False)
+        series.record(15.0, hit=True)
+        buckets = series.buckets()
+        assert buckets[0] == (0.0, 0.5)
+        assert buckets[1] == (10.0, 1.0)
+
+    def test_hit_rate_between(self):
+        series = TimeSeries(window=10.0)
+        for t in (1.0, 11.0, 21.0):
+            series.record(t, hit=True)
+        series.record(25.0, hit=False)
+        assert series.hit_rate_between(0, 20) == 1.0
+        assert series.hit_rate_between(20, 30) == 0.5
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            TimeSeries(window=0)
+
+
+class TestSystems:
+    def test_gigaflow_coverage_exposed(self):
+        w = fresh()
+        result = VSwitchSimulator(
+            w.pipeline, GigaflowSystem(num_tables=4, table_capacity=10**6)
+        ).run(w.trace(seed=1))
+        assert result.coverage is not None
+        assert result.coverage >= N_FLOWS - result.misses
+        assert result.sharing is not None and result.sharing >= 1.0
+
+    def test_megaflow_coverage_is_entries(self):
+        w = fresh()
+        result = VSwitchSimulator(
+            w.pipeline, MegaflowSystem(capacity=10**6)
+        ).run(w.trace(seed=1))
+        assert result.coverage == result.entry_count
+        assert result.sharing is None

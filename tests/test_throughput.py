@@ -1,0 +1,60 @@
+"""Tests for the aggregate-throughput model."""
+
+import pytest
+
+from repro.metrics import ThroughputModel
+
+
+class TestAchievable:
+    def test_perfect_hit_rate_is_line_rate(self):
+        model = ThroughputModel(line_rate_gbps=100.0, slowpath_gbps=8.0)
+        assert model.achievable_gbps(1.0) == 100.0
+
+    def test_zero_hit_rate_is_slowpath(self):
+        model = ThroughputModel(line_rate_gbps=100.0, slowpath_gbps=8.0)
+        assert model.achievable_gbps(0.0) == 8.0
+
+    def test_slowpath_binds_at_moderate_hit_rates(self):
+        model = ThroughputModel(line_rate_gbps=100.0, slowpath_gbps=8.0)
+        # 90% hits: misses bind -> 8 / 0.1 = 80 Gbps.
+        assert model.achievable_gbps(0.9) == pytest.approx(80.0)
+
+    def test_line_rate_binds_near_perfect(self):
+        model = ThroughputModel(line_rate_gbps=100.0, slowpath_gbps=8.0)
+        # 99% hits: line rate binds -> 100 / 0.99.
+        assert model.achievable_gbps(0.99) == pytest.approx(100 / 0.99)
+
+    def test_hit_rate_cliff(self):
+        """The motivation: a few points of hit rate are worth a lot."""
+        model = ThroughputModel(line_rate_gbps=400.0, slowpath_gbps=8.0)
+        assert model.speedup_over(0.98, 0.90) == pytest.approx(5.0, rel=0.01)
+
+    def test_range_validation(self):
+        model = ThroughputModel()
+        with pytest.raises(ValueError):
+            model.achievable_gbps(1.5)
+        with pytest.raises(ValueError):
+            ThroughputModel(line_rate_gbps=0.0)
+
+
+class TestRequiredHitRate:
+    def test_below_slowpath_needs_no_cache(self):
+        model = ThroughputModel(line_rate_gbps=100.0, slowpath_gbps=8.0)
+        assert model.required_hit_rate(5.0) == 0.0
+
+    def test_high_target_needs_high_hit_rate(self):
+        model = ThroughputModel(line_rate_gbps=100.0, slowpath_gbps=8.0)
+        assert model.required_hit_rate(80.0) == pytest.approx(0.9)
+
+    def test_target_above_line_rate_rejected(self):
+        model = ThroughputModel(line_rate_gbps=100.0, slowpath_gbps=8.0)
+        with pytest.raises(ValueError):
+            model.required_hit_rate(200.0)
+        with pytest.raises(ValueError):
+            model.required_hit_rate(0.0)
+
+    def test_round_trip(self):
+        model = ThroughputModel(line_rate_gbps=100.0, slowpath_gbps=8.0)
+        for target in (20.0, 50.0, 79.0):
+            h = model.required_hit_rate(target)
+            assert model.achievable_gbps(h) >= target - 1e-9

@@ -1,0 +1,95 @@
+"""Unit tests for the prefix trie (OVS-style IP unwildcarding)."""
+
+import pytest
+
+from repro.classify.trie import PrefixTrie, mask_to_prefix_len
+from repro.flow import ip, prefix_mask
+
+
+class TestInsertRemove:
+    def test_len_tracks_rules(self):
+        trie = PrefixTrie()
+        trie.insert(ip("10.0.0.0"), 8)
+        trie.insert(ip("10.0.0.0"), 8)  # refcount
+        trie.insert(ip("10.1.0.0"), 16)
+        assert len(trie) == 3
+        trie.remove(ip("10.0.0.0"), 8)
+        assert len(trie) == 2
+
+    def test_remove_missing_raises(self):
+        trie = PrefixTrie()
+        with pytest.raises(KeyError):
+            trie.remove(ip("10.0.0.0"), 8)
+
+    def test_remove_prunes_and_reinserts(self):
+        trie = PrefixTrie()
+        trie.insert(ip("10.0.0.0"), 24)
+        trie.remove(ip("10.0.0.0"), 24)
+        assert trie.unwildcard_bits(ip("10.0.0.1")) == 0
+        trie.insert(ip("10.0.0.0"), 24)
+        assert trie.unwildcard_bits(ip("10.0.0.1")) == 24
+
+    def test_bounds_checked(self):
+        trie = PrefixTrie()
+        with pytest.raises(ValueError):
+            trie.insert(0, 33)
+        with pytest.raises(ValueError):
+            trie.insert(1 << 32, 8)
+
+
+class TestUnwildcard:
+    def test_empty_trie_needs_no_bits(self):
+        assert PrefixTrie().unwildcard_bits(ip("1.2.3.4")) == 0
+
+    def test_matching_prefix_needs_its_length(self):
+        trie = PrefixTrie()
+        trie.insert(ip("10.0.0.0"), 8)
+        assert trie.unwildcard_bits(ip("10.9.9.9")) == 8
+
+    def test_diverging_value_needs_divergence_depth(self):
+        trie = PrefixTrie()
+        trie.insert(ip("10.0.0.0"), 8)  # 00001010...
+        # 11.x diverges from 10.x at bit 7 (depth 7) -> needs 8 bits.
+        assert trie.unwildcard_bits(ip("11.0.0.1")) == 8
+        # 128.x diverges at the first bit -> 1 bit suffices.
+        assert trie.unwildcard_bits(ip("128.0.0.1")) == 1
+
+    def test_paper_example_from_section_423(self):
+        """§4.2.3: packet 192.168.21.27 against prefixes /32, /24, /16, /8
+        must un-wildcard exactly 20 bits (mask 255.255.240.0)."""
+        trie = PrefixTrie()
+        trie.insert(ip("192.168.14.15"), 32)
+        trie.insert(ip("192.168.14.0"), 24)
+        trie.insert(ip("192.168.0.0"), 16)
+        trie.insert(ip("192.0.0.0"), 8)
+        assert trie.unwildcard_bits(ip("192.168.21.27")) == 20
+        assert trie.mask_for(ip("192.168.21.27")) == ip("255.255.240.0")
+
+    def test_exact_host_prefix(self):
+        trie = PrefixTrie()
+        trie.insert(ip("10.0.0.1"), 32)
+        assert trie.unwildcard_bits(ip("10.0.0.1")) == 32
+        # A neighbour differing in the last bit needs all 32 bits too.
+        assert trie.unwildcard_bits(ip("10.0.0.0")) == 32
+
+    def test_mask_for_zero_bits(self):
+        assert PrefixTrie().mask_for(ip("1.1.1.1")) == 0
+
+    def test_non_ip_width(self):
+        trie = PrefixTrie(width=16)
+        trie.insert(0x8000, 1)
+        assert trie.unwildcard_bits(0x8123) == 1
+        assert trie.unwildcard_bits(0x0123) == 1
+
+
+class TestMaskToPrefixLen:
+    def test_prefix_masks(self):
+        assert mask_to_prefix_len(0, 32) == 0
+        assert mask_to_prefix_len(prefix_mask(24), 32) == 24
+        assert mask_to_prefix_len(prefix_mask(32), 32) == 32
+        assert mask_to_prefix_len(0xFFFF, 16) == 16
+
+    def test_non_prefix_masks(self):
+        assert mask_to_prefix_len(0x00FF, 16) is None
+        assert mask_to_prefix_len(0xFF00FF00, 32) is None
+        assert mask_to_prefix_len(0b0101, 4) is None
