@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field as dataclass_field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..flow.actions import ActionList
 from ..flow.key import FlowKey
@@ -75,6 +75,25 @@ class CacheResult:
     tables_hit: int = 0
 
 
+class HitReplay(abc.ABC):
+    """Replayable side effects of one cache hit.
+
+    The simulator's exact-match fast path memoizes, per flow signature,
+    the side effects a hit performed (LRU touches, ``last_used`` /
+    ``hit_count`` updates, stat bumps) together with the recorded probe
+    counts.  Replaying must be *bit-identical* to re-running the full
+    lookup while the cache contents are unchanged; :attr:`epoch` records
+    the cache's :attr:`FlowCache.mutation_epoch` at record time so stale
+    records are dropped lazily after any structural change.
+    """
+
+    __slots__ = ("epoch",)
+
+    @abc.abstractmethod
+    def replay(self, now: float) -> CacheResult:
+        """Re-apply the hit's side effects; returns the hit result."""
+
+
 class FlowCache(abc.ABC):
     """Interface shared by all caches the simulator can drive."""
 
@@ -82,10 +101,30 @@ class FlowCache(abc.ABC):
 
     def __init__(self) -> None:
         self.stats = CacheStats()
+        self._mutation_epoch = 0
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Monotone counter of structural mutations (installs, evictions,
+        idle sweeps, ``clear()``, revalidation).  Lookup outcomes can only
+        change when this does — the fast path's invalidation signal."""
+        return self._mutation_epoch
+
+    def bump_epoch(self) -> None:
+        """Record a structural mutation, invalidating memoized lookups."""
+        self._mutation_epoch += 1
 
     @abc.abstractmethod
     def lookup(self, flow: FlowKey, now: float = 0.0) -> CacheResult:
         """Look a packet up; updates hit/miss counters."""
+
+    def lookup_traced(
+        self, flow: FlowKey, now: float = 0.0
+    ) -> Tuple[CacheResult, Optional[HitReplay]]:
+        """Like :meth:`lookup`, additionally returning a
+        :class:`HitReplay` record on hits for fast-path memoization.
+        Caches without fast-path support return ``(result, None)``."""
+        return self.lookup(flow, now), None
 
     @abc.abstractmethod
     def entry_count(self) -> int:

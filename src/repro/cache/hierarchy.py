@@ -9,13 +9,35 @@ SmartNIC offloads replace.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
 
 from ..flow.fields import DEFAULT_SCHEMA, FieldSchema
 from ..flow.key import FlowKey
 from ..pipeline.traversal import Traversal
-from .base import CacheResult, FlowCache
+from .base import CacheResult, FlowCache, HitReplay
 from .megaflow import MegaflowCache, build_megaflow_entry
 from .microflow import MicroflowCache
+
+
+class _HierarchyHitReplay(HitReplay):
+    """Memoized hierarchy hit.
+
+    Only Microflow-level hits are memoizable: a Megaflow-level hit
+    promotes the flow into the Microflow cache — a mutation, so its
+    record is stale the moment it is made (and the *next* lookup of the
+    same flow is a Microflow hit anyway).
+    """
+
+    __slots__ = ("cache", "inner")
+
+    def __init__(self, cache, inner):
+        self.cache = cache
+        self.inner = inner
+
+    def replay(self, now: float) -> CacheResult:
+        result = self.inner.replay(now)
+        self.cache.stats.hits += 1
+        return result
 
 
 class CacheHierarchy(FlowCache):
@@ -41,27 +63,47 @@ class CacheHierarchy(FlowCache):
         self.megaflow = MegaflowCache(megaflow_capacity, schema)
         self.start_table = start_table
 
+    @property
+    def mutation_epoch(self) -> int:
+        # Every structural mutation happens in a sub-cache; both counters
+        # are monotone, so their sum is a valid epoch for the hierarchy.
+        return (
+            self.microflow.mutation_epoch + self.megaflow.mutation_epoch
+        )
+
     def lookup(self, flow: FlowKey, now: float = 0.0) -> CacheResult:
-        first = self.microflow.lookup(flow, now)
+        return self.lookup_traced(flow, now)[0]
+
+    def lookup_traced(
+        self, flow: FlowKey, now: float = 0.0
+    ) -> Tuple[CacheResult, Optional[_HierarchyHitReplay]]:
+        first, first_replay = self.microflow.lookup_traced(flow, now)
         if first.hit:
             self.stats.hits += 1
-            return first
+            return first, _HierarchyHitReplay(self, first_replay)
         second = self.megaflow.lookup(flow, now)
         if second.hit:
             # Promote into the exact-match level (OVS's EMC insert).
             self.microflow.install(flow, second.actions, now)
             self.stats.hits += 1
-            return CacheResult(
-                hit=True,
-                actions=second.actions,
-                output_port=second.output_port,
-                groups_probed=first.groups_probed + second.groups_probed,
-                tables_hit=2,
+            return (
+                CacheResult(
+                    hit=True,
+                    actions=second.actions,
+                    output_port=second.output_port,
+                    groups_probed=first.groups_probed
+                    + second.groups_probed,
+                    tables_hit=2,
+                ),
+                None,
             )
         self.stats.misses += 1
-        return CacheResult(
-            hit=False,
-            groups_probed=first.groups_probed + second.groups_probed,
+        return (
+            CacheResult(
+                hit=False,
+                groups_probed=first.groups_probed + second.groups_probed,
+            ),
+            None,
         )
 
     def install_traversal(

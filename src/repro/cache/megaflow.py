@@ -10,7 +10,7 @@ guarantees entries never overlap, so the cache needs no priorities.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Tuple
 
 from ..classify.tss import TupleSpaceClassifier
 from ..flow.actions import ActionList
@@ -18,7 +18,13 @@ from ..flow.fields import DEFAULT_SCHEMA, FieldSchema
 from ..flow.key import FlowKey
 from ..flow.match import TernaryMatch
 from ..pipeline.traversal import Traversal
-from .base import CacheResult, FlowCache, LruTracker, actions_result
+from .base import (
+    CacheResult,
+    FlowCache,
+    HitReplay,
+    LruTracker,
+    actions_result,
+)
 
 _entry_ids = itertools.count()
 
@@ -89,6 +95,28 @@ def build_megaflow_entry(
     )
 
 
+class _MegaflowHitReplay(HitReplay):
+    """Memoized Megaflow hit: the winning entry plus the recorded TSS
+    probe count of the first lookup."""
+
+    __slots__ = ("cache", "entry", "groups_probed")
+
+    def __init__(self, cache, entry, groups_probed):
+        self.cache = cache
+        self.entry = entry
+        self.groups_probed = groups_probed
+
+    def replay(self, now: float) -> CacheResult:
+        entry = self.entry
+        entry.last_used = now
+        cache = self.cache
+        cache._lru.touch(entry.rule_id, now)
+        cache.stats.hits += 1
+        return actions_result(
+            entry.actions, groups_probed=self.groups_probed, tables_hit=1
+        )
+
+
 class MegaflowCache(FlowCache):
     """A capacity-bounded single-table wildcard cache.
 
@@ -124,17 +152,26 @@ class MegaflowCache(FlowCache):
     # -- FlowCache interface ------------------------------------------------------
 
     def lookup(self, flow: FlowKey, now: float = 0.0) -> CacheResult:
+        return self.lookup_traced(flow, now)[0]
+
+    def lookup_traced(
+        self, flow: FlowKey, now: float = 0.0
+    ) -> Tuple[CacheResult, Optional[_MegaflowHitReplay]]:
         result = self._classifier.lookup(flow)
         if result.rule is None:
             self.stats.misses += 1
-            return CacheResult(hit=False, groups_probed=result.groups_probed)
+            return (
+                CacheResult(hit=False, groups_probed=result.groups_probed),
+                None,
+            )
         entry = result.rule
         entry.last_used = now
         self._lru.touch(entry.rule_id, now)
         self.stats.hits += 1
-        return actions_result(
+        hit = actions_result(
             entry.actions, groups_probed=result.groups_probed, tables_hit=1
         )
+        return hit, _MegaflowHitReplay(self, entry, result.groups_probed)
 
     def install(self, entry: MegaflowEntry, now: float = 0.0) -> bool:
         """Install an entry; returns False when rejected for capacity."""
@@ -145,6 +182,7 @@ class MegaflowCache(FlowCache):
             existing.actions = entry.actions
             existing.generation = entry.generation
             self._lru.touch(existing.rule_id, now)
+            self.bump_epoch()
             return True
         if len(self._by_match) >= self.capacity:
             if self.eviction == "reject":
@@ -163,6 +201,7 @@ class MegaflowCache(FlowCache):
         self._by_match[entry.match] = entry
         self._lru.touch(entry.rule_id, now)
         self.stats.insertions += 1
+        self.bump_epoch()
         return True
 
     def install_traversal(
@@ -181,6 +220,7 @@ class MegaflowCache(FlowCache):
         del self._by_match[entry.match]
         self._lru.forget(entry.rule_id)
         self.stats.evictions += 1
+        self.bump_epoch()
 
     def entry_count(self) -> int:
         return len(self._by_match)
@@ -202,6 +242,7 @@ class MegaflowCache(FlowCache):
         self._classifier.clear()
         self._by_match.clear()
         self._lru.clear()
+        self.bump_epoch()
 
     # -- introspection ----------------------------------------------------------------
 

@@ -8,10 +8,31 @@ evaluation compares Megaflow vs. Gigaflow.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Optional, Tuple
 
 from ..flow.actions import ActionList
 from ..flow.key import FlowKey
-from .base import CacheResult, FlowCache, actions_result
+from .base import CacheResult, FlowCache, HitReplay, actions_result
+
+
+class _MicroflowHitReplay(HitReplay):
+    """Memoized Microflow hit: the exact-match entry and its LRU key."""
+
+    __slots__ = ("cache", "key", "entry")
+
+    def __init__(self, cache, key, entry):
+        self.cache = cache
+        self.key = key
+        self.entry = entry
+
+    def replay(self, now: float) -> CacheResult:
+        cache = self.cache
+        cache._entries.move_to_end(self.key)
+        self.entry.last_used = now
+        cache.stats.hits += 1
+        return actions_result(
+            self.entry.actions, groups_probed=1, tables_hit=1
+        )
 
 
 class MicroflowCache(FlowCache):
@@ -29,15 +50,21 @@ class MicroflowCache(FlowCache):
     # -- FlowCache interface -------------------------------------------------
 
     def lookup(self, flow: FlowKey, now: float = 0.0) -> CacheResult:
+        return self.lookup_traced(flow, now)[0]
+
+    def lookup_traced(
+        self, flow: FlowKey, now: float = 0.0
+    ) -> Tuple[CacheResult, Optional[_MicroflowHitReplay]]:
         key = flow.values
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
-            return CacheResult(hit=False, groups_probed=1)
+            return CacheResult(hit=False, groups_probed=1), None
         self._entries.move_to_end(key)
         entry.last_used = now
         self.stats.hits += 1
-        return actions_result(entry.actions, groups_probed=1, tables_hit=1)
+        hit = actions_result(entry.actions, groups_probed=1, tables_hit=1)
+        return hit, _MicroflowHitReplay(self, key, entry)
 
     def install(self, flow: FlowKey, actions: ActionList, now: float = 0.0) -> bool:
         """Insert (or refresh) an exact-match entry, evicting LRU if full."""
@@ -46,12 +73,14 @@ class MicroflowCache(FlowCache):
             self._entries.move_to_end(key)
             self._entries[key].actions = actions
             self._entries[key].last_used = now
+            self.bump_epoch()
             return True
         if len(self._entries) >= self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
         self._entries[key] = _Entry(actions, now)
         self.stats.insertions += 1
+        self.bump_epoch()
         return True
 
     def entry_count(self) -> int:
@@ -69,10 +98,13 @@ class MicroflowCache(FlowCache):
         for key in stale:
             del self._entries[key]
         self.stats.evictions += len(stale)
+        if stale:
+            self.bump_epoch()
         return len(stale)
 
     def clear(self) -> None:
         self._entries.clear()
+        self.bump_epoch()
 
 
 class _Entry:

@@ -23,6 +23,7 @@ The classifier is generic over any rule type exposing ``match``
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 from typing import (
     Dict,
@@ -76,12 +77,20 @@ _group_seq = iter(range(1 << 62))
 
 
 class _Group(Generic[RuleT]):
-    """All rules sharing one mask tuple."""
+    """All rules sharing one mask tuple.
+
+    Keys are stored *compactly*: only the fields whose mask is nonzero in
+    a stage participate in that stage's key (``stage_pairs`` lists the
+    ``(field index, mask)`` pairs).  A probe therefore masks a handful of
+    fields instead of materialising a schema-wide tuple, and membership
+    tables are reference-counted dicts so removals never rebuild them.
+    """
 
     __slots__ = (
         "mask",
         "stage_masks",
-        "stage_sets",
+        "stage_pairs",
+        "stage_keys",
         "rules",
         "max_priority",
         "trie_prefix_fields",
@@ -98,13 +107,26 @@ class _Group(Generic[RuleT]):
         self.mask = mask
         #: Cumulative mask tuples, one per active stage (last == full mask).
         self.stage_masks: Tuple[Tuple[int, ...], ...] = tuple(stage_masks)
-        #: Per stage, the set of masked key prefixes present in the group.
-        self.stage_sets: List[set] = [set() for _ in self.stage_masks]
-        #: Full masked key -> rules, best priority first.
+        #: Per stage, the (field index, mask) pairs with a nonzero mask —
+        #: the only fields a probe of that stage must hash.
+        self.stage_pairs: Tuple[Tuple[Tuple[int, int], ...], ...] = tuple(
+            tuple((i, m) for i, m in enumerate(sm) if m)
+            for sm in self.stage_masks
+        )
+        #: Per stage, refcounts of the compact masked keys present.
+        self.stage_keys: Tuple[Dict[Tuple[int, ...], int], ...] = tuple(
+            {} for _ in self.stage_masks
+        )
+        #: Compact full-mask key -> rules, best priority first.
         self.rules: Dict[Tuple[int, ...], List[RuleT]] = {}
         self.max_priority = 0
         #: Indices of trie fields whose mask here is prefix-shaped.
         self.trie_prefix_fields = trie_prefix_fields
+
+    def compact_key(self, canonical: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Project an (already masked) canonical key onto the full-mask
+        compact representation used by :attr:`rules`."""
+        return tuple(canonical[i] for i, _ in self.stage_pairs[-1])
 
     def recompute_max_priority(self) -> None:
         self.max_priority = max(
@@ -170,16 +192,20 @@ class TupleSpaceClassifier(Generic[RuleT]):
         if group is None:
             group = self._make_group(mask)
             self._groups[mask] = group
-            self._ordered.append(group)
-        key = match.canonical_key
+            self._order_dirty = True
+        canonical = match.canonical_key
+        key = group.compact_key(canonical)
         bucket = group.rules.setdefault(key, [])
-        bucket.append(rule)
-        bucket.sort(key=lambda r: (-r.priority, getattr(r, "rule_id", 0)))
-        for stage_set, stage_mask in zip(group.stage_sets, group.stage_masks):
-            stage_set.add(tuple(k & m for k, m in zip(key, stage_mask)))
+        insort(
+            bucket, rule,
+            key=lambda r: (-r.priority, getattr(r, "rule_id", 0)),
+        )
+        for stage_keys, pairs in zip(group.stage_keys, group.stage_pairs):
+            stage_key = tuple(canonical[i] for i, _ in pairs)
+            stage_keys[stage_key] = stage_keys.get(stage_key, 0) + 1
         if rule.priority > group.max_priority:
             group.max_priority = rule.priority
-        self._order_dirty = True
+            self._order_dirty = True
         self._size += 1
         self._trie_insert(match)
 
@@ -189,20 +215,29 @@ class TupleSpaceClassifier(Generic[RuleT]):
         group = self._groups.get(mask)
         if group is None:
             raise KeyError(f"rule not present: {rule!r}")
-        key = match.canonical_key
+        canonical = match.canonical_key
+        key = group.compact_key(canonical)
         bucket = group.rules.get(key)
         if not bucket or rule not in bucket:
             raise KeyError(f"rule not present: {rule!r}")
         bucket.remove(rule)
         if not bucket:
             del group.rules[key]
+        # Drop only this key's stage entries, and only once no other rule
+        # still maps to them (the refcount).
+        for stage_keys, pairs in zip(group.stage_keys, group.stage_pairs):
+            stage_key = tuple(canonical[i] for i, _ in pairs)
+            remaining = stage_keys[stage_key] - 1
+            if remaining:
+                stage_keys[stage_key] = remaining
+            else:
+                del stage_keys[stage_key]
         self._size -= 1
         self._trie_remove(match)
         if not group.rules:
             del self._groups[mask]
-            self._ordered.remove(group)
-        else:
-            self._rebuild_stage_sets(group)
+            self._order_dirty = True
+        elif rule.priority >= group.max_priority:
             group.recompute_max_priority()
             self._order_dirty = True
 
@@ -225,7 +260,12 @@ class TupleSpaceClassifier(Generic[RuleT]):
         ruling out every group that could have held a higher-priority match.
         """
         if self._order_dirty:
-            self._ordered.sort(key=lambda g: (-g.max_priority, g.seq))
+            # Rebuilding from the group dict (rather than sorting in
+            # place) lets ``remove`` skip the O(M) list removal.
+            self._ordered = sorted(
+                self._groups.values(),
+                key=lambda g: (-g.max_priority, g.seq),
+            )
             self._order_dirty = False
 
         values = flow.values
@@ -290,18 +330,20 @@ class TupleSpaceClassifier(Generic[RuleT]):
     ) -> Optional[Tuple[int, ...]]:
         """Probe one group stage by stage.
 
-        Returns the full masked key on a hit.  When ``acc`` is not None,
+        Returns the compact full-mask key on a hit (an index into
+        ``group.rules``).  When ``acc`` is not None,
         accumulates the bits this probe examined: on a miss at stage *s*,
         the cumulative stage-*s* mask; on a hit, the full group mask.  For
         prefix-shaped trie fields the (tight) trie mask replaces the raw
         field mask.
         """
-        stage_masks = group.stage_masks
-        examined = stage_masks[-1]
+        examined = group.stage_masks[-1]
         hit_key: Optional[Tuple[int, ...]] = None
-        for stage_mask, stage_set in zip(stage_masks, group.stage_sets):
-            key = tuple(v & m for v, m in zip(values, stage_mask))
-            if key not in stage_set:
+        for stage_pairs, stage_keys, stage_mask in zip(
+            group.stage_pairs, group.stage_keys, group.stage_masks
+        ):
+            key = tuple(values[i] & m for i, m in stage_pairs)
+            if key not in stage_keys:
                 examined = stage_mask
                 break
         else:
@@ -316,14 +358,6 @@ class TupleSpaceClassifier(Generic[RuleT]):
                 else:
                     acc[i] |= mask
         return hit_key
-
-    def _rebuild_stage_sets(self, group: _Group[RuleT]) -> None:
-        group.stage_sets = [set() for _ in group.stage_masks]
-        for key in group.rules:
-            for stage_set, stage_mask in zip(
-                group.stage_sets, group.stage_masks
-            ):
-                stage_set.add(tuple(k & m for k, m in zip(key, stage_mask)))
 
     def _trie_insert(self, match) -> None:
         for index in self._trie_fields:

@@ -10,6 +10,9 @@ sweep
     Fig. 3/14-style sweep of the Gigaflow table count.
 coverage
     Table 2-style rule-space coverage for one pipeline.
+bench
+    Fast-path benchmark: replay one pipebench trace with the exact-match
+    fast path on and off, write ``BENCH_fastpath.json``.
 
 For the full per-figure report, run ``examples/reproduce_all.py``.
 """
@@ -17,7 +20,9 @@ For the full per-figure report, run ``examples/reproduce_all.py``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import List, Optional
 
 from .experiments import (
@@ -98,6 +103,90 @@ def cmd_coverage(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .pipeline.library import get_pipeline_spec
+    from .sim import (
+        GigaflowSystem,
+        MegaflowSystem,
+        SimConfig,
+        VSwitchSimulator,
+    )
+    from .workload import TraceProfile, build_workload
+
+    spec = get_pipeline_spec(args.pipeline.upper())
+    profile = TraceProfile(
+        mean_flow_size=args.mean_flow_size, duration=args.duration
+    )
+    capacity = args.capacity or max(args.flows * 2, 8)
+    systems = {
+        "megaflow": lambda: MegaflowSystem(capacity=capacity),
+        "gigaflow": lambda: GigaflowSystem(
+            num_tables=4, table_capacity=max(capacity // 4, 2)
+        ),
+    }
+    report = {
+        "pipeline": spec.name,
+        "locality": args.locality,
+        "flows": args.flows,
+        "capacity": capacity,
+        "mean_flow_size": args.mean_flow_size,
+        "duration": args.duration,
+        "seed": args.seed,
+        "systems": {},
+    }
+    for name, make in systems.items():
+        runs = {}
+        for fast in (True, False):
+            workload = build_workload(
+                spec, n_flows=args.flows, locality=args.locality,
+                seed=args.seed,
+            )
+            trace = workload.trace(profile=profile, seed=args.trace_seed)
+            simulator = VSwitchSimulator(
+                workload.pipeline, make(), SimConfig(fast_path=fast)
+            )
+            start = time.perf_counter()
+            result = simulator.run(trace)
+            elapsed = time.perf_counter() - start
+            report["packets"] = result.packets
+            run = {
+                "seconds": round(elapsed, 3),
+                "packets_per_sec": round(result.packets / elapsed, 1),
+                "hit_rate": round(result.hit_rate, 6),
+                "cache_probes": result.cache_probes,
+            }
+            if fast:
+                fastpath = simulator.fastpath
+                run["memo_hits"] = fastpath.memo_hits
+                run["memo_misses"] = fastpath.memo_misses
+                run["invalidations"] = fastpath.invalidations
+                run["memo_hit_rate"] = round(fastpath.memo_hit_rate, 4)
+            runs["fast_on" if fast else "fast_off"] = run
+            print(f"{name} fast={'on' if fast else 'off':3} "
+                  f"{elapsed:6.2f}s  {result.packets / elapsed:>9,.0f} pps"
+                  f"  hit_rate={result.hit_rate:.4f}"
+                  f"  cache_probes={result.cache_probes}")
+        runs["speedup"] = round(
+            runs["fast_on"]["packets_per_sec"]
+            / runs["fast_off"]["packets_per_sec"], 2
+        )
+        identical = (
+            runs["fast_on"]["hit_rate"] == runs["fast_off"]["hit_rate"]
+            and runs["fast_on"]["cache_probes"]
+            == runs["fast_off"]["cache_probes"]
+        )
+        runs["metrics_identical"] = identical
+        print(f"{name} speedup: {runs['speedup']:.2f}x "
+              f"(metrics identical: {identical})")
+        report["systems"][name] = runs
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -129,6 +218,41 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=[p.lower() for p in PIPELINES]
                           + list(PIPELINES))
     _add_scale_arguments(coverage)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the exact-match fast path (on vs off)",
+    )
+    bench.add_argument(
+        "pipeline", nargs="?", default="psc",
+        choices=[p.lower() for p in PIPELINES] + list(PIPELINES),
+    )
+    bench.add_argument(
+        "--flows", type=int, default=2000,
+        help="unique flow classes (default 2000)",
+    )
+    bench.add_argument(
+        "--capacity", type=int, default=None,
+        help="total cache entries (default 2x flows: locality-heavy "
+             "traces should be cache-limited by idle time, not size)",
+    )
+    bench.add_argument(
+        "--locality", choices=("high", "low"), default="high",
+    )
+    bench.add_argument(
+        "--mean-flow-size", type=float, default=128.0,
+        help="mean packets per flow (default 128, locality-heavy)",
+    )
+    bench.add_argument(
+        "--duration", type=float, default=30.0,
+        help="trace duration in seconds (default 30)",
+    )
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--trace-seed", type=int, default=3)
+    bench.add_argument(
+        "--output", default="BENCH_fastpath.json",
+        help="where to write the JSON report",
+    )
     return parser
 
 
@@ -137,6 +261,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "sweep": cmd_sweep,
     "coverage": cmd_coverage,
+    "bench": cmd_bench,
 }
 
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from ..cache.base import CacheResult, FlowCache
+from ..cache.base import CacheResult, FlowCache, HitReplay
 from ..flow.actions import Action, ActionList
 from ..flow.fields import DEFAULT_SCHEMA, FieldSchema
 from ..flow.key import FlowKey
@@ -42,6 +42,37 @@ class InstallOutcome:
     reused: int = 0
     rejected: int = 0
     complete: bool = True
+
+
+class _GigaflowHitReplay(HitReplay):
+    """Memoized Gigaflow hit: the matched (table, rule) chain plus the
+    recorded probe counts and composed actions of the first lookup."""
+
+    __slots__ = (
+        "cache", "matched", "actions", "output_port", "groups_probed",
+        "tables_hit",
+    )
+
+    def __init__(self, cache, matched, actions, groups_probed, tables_hit):
+        self.cache = cache
+        self.matched = matched
+        self.actions = actions
+        self.output_port = actions.output_port()
+        self.groups_probed = groups_probed
+        self.tables_hit = tables_hit
+
+    def replay(self, now: float) -> CacheResult:
+        for table, rule in self.matched:
+            table.touch(rule, now)
+            rule.hit_count += 1
+        self.cache.stats.hits += 1
+        return CacheResult(
+            hit=True,
+            actions=self.actions,
+            output_port=self.output_port,
+            groups_probed=self.groups_probed,
+            tables_hit=self.tables_hit,
+        )
 
 
 class GigaflowCache(FlowCache):
@@ -97,9 +128,15 @@ class GigaflowCache(FlowCache):
     # -- lookup (the SmartNIC fast path) -----------------------------------------
 
     def lookup(self, flow: FlowKey, now: float = 0.0) -> CacheResult:
+        return self.lookup_traced(flow, now)[0]
+
+    def lookup_traced(
+        self, flow: FlowKey, now: float = 0.0
+    ) -> Tuple[CacheResult, Optional[_GigaflowHitReplay]]:
         tag = self.start_tag
         current = flow
         composed: List[Action] = []
+        matched: List[Tuple[LtmTable, LtmRule]] = []
         tables_hit = 0
         probes = 0
         for table in self.tables:
@@ -110,24 +147,32 @@ class GigaflowCache(FlowCache):
             if rule is None:
                 continue  # pass-through: not this packet's next segment
             tables_hit += 1
-            rule.last_used = now
+            table.touch(rule, now)
             rule.hit_count += 1
+            matched.append((table, rule))
             composed.extend(rule.actions)
             current = rule.actions.apply(current)
             tag = rule.next_tag
         if tag == TAG_DONE:
             actions = ActionList(composed)
             self.stats.hits += 1
-            return CacheResult(
+            result = CacheResult(
                 hit=True,
                 actions=actions,
                 output_port=actions.output_port(),
                 groups_probed=probes,
                 tables_hit=tables_hit,
             )
+            replay = _GigaflowHitReplay(
+                self, tuple(matched), actions, probes, tables_hit
+            )
+            return result, replay
         self.stats.misses += 1
-        return CacheResult(
-            hit=False, groups_probed=probes, tables_hit=tables_hit
+        return (
+            CacheResult(
+                hit=False, groups_probed=probes, tables_hit=tables_hit
+            ),
+            None,
         )
 
     # -- install (the slow-path upcall) ---------------------------------------------
@@ -180,6 +225,8 @@ class GigaflowCache(FlowCache):
             outcome.installed += 1
             self.stats.insertions += 1
             prev = placed_at
+        if outcome.installed:
+            self.bump_epoch()
         return outcome
 
     def _reuse_in_window(
@@ -187,10 +234,13 @@ class GigaflowCache(FlowCache):
     ) -> Optional[int]:
         identity = rule.identity()
         for index in window:
-            existing = self.tables[index].find_identical(identity)
+            table = self.tables[index]
+            existing = table.find_identical(identity)
             if existing is not None:
                 existing.install_count += 1
-                existing.last_used = max(existing.last_used, rule.last_used)
+                table.touch(
+                    existing, max(existing.last_used, rule.last_used)
+                )
                 existing.generation = max(
                     existing.generation, rule.generation
                 )
@@ -254,6 +304,8 @@ class GigaflowCache(FlowCache):
                 table.remove(rule)
             evicted += len(stale)
         self.stats.evictions += evicted
+        if evicted:
+            self.bump_epoch()
         return evicted
 
     def remove_rule(self, rule: LtmRule) -> None:
@@ -262,12 +314,14 @@ class GigaflowCache(FlowCache):
             if table.find_identical(rule.identity()) is rule:
                 table.remove(rule)
                 self.stats.evictions += 1
+                self.bump_epoch()
                 return
         raise KeyError(f"rule not installed: {rule!r}")
 
     def clear(self) -> None:
         for table in self.tables:
             table.clear()
+        self.bump_epoch()
 
     # -- introspection -------------------------------------------------------------------
 

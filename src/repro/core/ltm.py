@@ -11,6 +11,7 @@ table, and forward/drop when the sub-traversal ends the pipeline.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..classify.tss import TupleSpaceClassifier
@@ -120,6 +121,10 @@ class LtmTable:
         self.schema = schema
         self._by_tag: Dict[int, TupleSpaceClassifier[LtmRule]] = {}
         self._by_identity: Dict[Tuple, LtmRule] = {}
+        #: Recency list: least-recently-touched rule first.  All
+        #: ``last_used`` updates must go through :meth:`touch` (or the
+        #: insert refresh path) so the order tracks use time.
+        self._recency: "OrderedDict[int, LtmRule]" = OrderedDict()
 
     # -- capacity ------------------------------------------------------------------
 
@@ -146,7 +151,9 @@ class LtmTable:
         existing = self._by_identity.get(identity)
         if existing is not None:
             existing.install_count += 1
-            existing.last_used = max(existing.last_used, rule.last_used)
+            self.touch(
+                existing, max(existing.last_used, rule.last_used)
+            )
             existing.generation = max(existing.generation, rule.generation)
             return True
         if self.is_full:
@@ -157,7 +164,14 @@ class LtmTable:
             self._by_tag[rule.tag] = bucket
         bucket.insert(rule)
         self._by_identity[identity] = rule
+        self._recency[rule.rule_id] = rule
         return True
+
+    def touch(self, rule: LtmRule, now: float) -> None:
+        """Mark a rule used at ``now``; keeps the recency list ordered.
+        Use times must be nondecreasing (the simulator's clock is)."""
+        rule.last_used = now
+        self._recency.move_to_end(rule.rule_id)
 
     def remove(self, rule: LtmRule) -> None:
         identity = rule.identity()
@@ -168,10 +182,12 @@ class LtmTable:
         if not len(bucket):
             del self._by_tag[rule.tag]
         del self._by_identity[identity]
+        self._recency.pop(rule.rule_id, None)
 
     def clear(self) -> None:
         self._by_tag.clear()
         self._by_identity.clear()
+        self._recency.clear()
 
     def __iter__(self) -> Iterator[LtmRule]:
         return iter(self._by_identity.values())
@@ -192,12 +208,11 @@ class LtmTable:
         return result.rule, result.groups_probed
 
     def lru_rule(self) -> Optional[LtmRule]:
-        """The least-recently-used rule (eviction victim candidate)."""
-        best: Optional[LtmRule] = None
-        for rule in self._by_identity.values():
-            if best is None or rule.last_used < best.last_used:
-                best = rule
-        return best
+        """The least-recently-used rule (eviction victim candidate) —
+        O(1) off the head of the recency list."""
+        for rule in self._recency.values():
+            return rule
+        return None
 
     # -- introspection ------------------------------------------------------------------
 

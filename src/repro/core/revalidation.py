@@ -64,6 +64,11 @@ class MegaflowRevalidator:
                 report.entries_evicted += 1
             else:
                 entry.generation = self.pipeline.generation
+        if report.entries_evicted:
+            # Removals already bump the cache's mutation epoch; bump once
+            # more so a revalidation cycle is always visible to fast-path
+            # memo invalidation even if eviction internals change.
+            self.cache.bump_epoch()
         return report
 
 
@@ -100,6 +105,10 @@ class GigaflowRevalidator:
                 report.entries_evicted += 1
             else:
                 rule.generation = self.pipeline.generation
+        if report.entries_evicted:
+            # See MegaflowRevalidator.revalidate: keep revalidation
+            # visible to fast-path memo invalidation in its own right.
+            self.cache.bump_epoch()
         return report
 
 

@@ -4,18 +4,22 @@ from .engine import (
     AdaptiveGigaflowSystem,
     CachingSystem,
     GigaflowSystem,
+    HierarchySystem,
     InstallCost,
     MegaflowSystem,
     SimConfig,
     VSwitchSimulator,
     run_comparison,
 )
+from .fastpath import FastPathIndex
 from .results import SimResult, TimeSeries
 
 __all__ = [
     "AdaptiveGigaflowSystem",
     "CachingSystem",
+    "FastPathIndex",
     "GigaflowSystem",
+    "HierarchySystem",
     "InstallCost",
     "MegaflowSystem",
     "SimConfig",

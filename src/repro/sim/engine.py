@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Tuple
 
 from ..cache.base import FlowCache
+from ..cache.hierarchy import CacheHierarchy
 from ..cache.megaflow import MegaflowCache
 from ..core.coverage import coverage as gigaflow_coverage
 from ..core.gigaflow import GigaflowCache
@@ -25,6 +26,7 @@ from ..metrics.latency import LatencyModel
 from ..pipeline.pipeline import Pipeline
 from ..pipeline.traversal import Disposition, Traversal
 from ..workload.pipebench import Trace
+from .fastpath import FastPathIndex
 from .results import SimResult, TimeSeries
 
 
@@ -86,6 +88,38 @@ class MegaflowSystem(CachingSystem):
 
     def coverage(self) -> int:
         return self.cache.entry_count()
+
+
+class HierarchySystem(CachingSystem):
+    """The software-only OVS hierarchy: Microflow → Megaflow (§2.1)."""
+
+    name = "hierarchy"
+
+    def __init__(
+        self,
+        microflow_capacity: int = 8192,
+        megaflow_capacity: int = 32768,
+        schema: FieldSchema = DEFAULT_SCHEMA,
+        start_table: int = 0,
+    ):
+        self.cache = CacheHierarchy(
+            microflow_capacity, megaflow_capacity, schema, start_table
+        )
+
+    def install(
+        self, traversal: Traversal, generation: int, now: float
+    ) -> InstallCost:
+        installed = self.cache.install_traversal(
+            traversal, generation, now
+        )
+        return InstallCost(
+            rules_generated=1,
+            rules_installed=1 if installed else 0,
+            partition_cells=0,
+        )
+
+    def coverage(self) -> int:
+        return self.cache.megaflow.entry_count()
 
 
 class GigaflowSystem(CachingSystem):
@@ -175,12 +209,16 @@ class SimConfig:
         sweep_interval: How often the revalidator's idle sweep runs.
         window: Time-series bucket width (seconds).
         latency: The calibrated latency model for hit/miss mixing.
+        fast_path: Memoize repeat-flow cache hits through a
+            :class:`~repro.sim.fastpath.FastPathIndex` (metric-faithful:
+            every :class:`SimResult` field is identical either way).
     """
 
     max_idle: float = 0.0
     sweep_interval: float = 5.0
     window: float = 10.0
     latency: LatencyModel = field(default_factory=LatencyModel)
+    fast_path: bool = True
 
 
 class VSwitchSimulator:
@@ -195,6 +233,9 @@ class VSwitchSimulator:
         self.pipeline = pipeline
         self.system = system
         self.config = config or SimConfig()
+        #: The fast-path memo of the most recent run (None when disabled)
+        #: — exposes memo hit/invalidation counters for benchmarking.
+        self.fastpath: Optional[FastPathIndex] = None
 
     def run(self, trace: Trace) -> SimResult:
         return self.run_packets(trace.packets(), len(trace))
@@ -213,18 +254,32 @@ class VSwitchSimulator:
         miss_cost_sum = 0.0
         packet_count = 0
         peak_entries = 0
-        next_sweep = config.sweep_interval
+        cache_probes = 0
+        max_idle = config.max_idle
+        sweep_interval = config.sweep_interval
+        hit_us = config.latency.hit_us
+        next_sweep = sweep_interval
+        self.fastpath = FastPathIndex(cache) if config.fast_path else None
+        lookup = (
+            self.fastpath.lookup if self.fastpath is not None
+            else cache.lookup
+        )
 
         for packet in packets:
             now = packet.timestamp
             packet_count += 1
-            if config.max_idle > 0 and now >= next_sweep:
-                cache.evict_idle(now, config.max_idle)
-                next_sweep = now + config.sweep_interval
+            if max_idle > 0:
+                # Fixed cadence: fire one sweep per elapsed interval, at
+                # its scheduled time, so sparse traces neither slide the
+                # schedule nor skip sweeps.
+                while now >= next_sweep:
+                    cache.evict_idle(next_sweep, max_idle)
+                    next_sweep += sweep_interval
 
-            result = cache.lookup(packet.flow, now)
+            result = lookup(packet.flow, now)
+            cache_probes += result.groups_probed
             if result.hit:
-                latency_sum += config.latency.hit_us
+                latency_sum += hit_us
                 series.record(now, hit=True)
                 continue
 
@@ -274,6 +329,7 @@ class VSwitchSimulator:
             series=series,
             sharing=system.sharing(),
             coverage=system.coverage(),
+            cache_probes=cache_probes,
         )
 
 

@@ -1,0 +1,101 @@
+"""Metric-faithful exact-match fast path for the simulator's hot loop.
+
+Replaying a trace spends almost all of its time re-probing TSS mask
+groups for flow signatures it has already resolved: once a packet of a
+flow has hit the cache, every later packet of the same flow re-runs the
+identical wildcard search (up to K LTM tables' worth) just to rediscover
+the same rule chain.  OVS front-ends its wildcard cache with an
+exact-match cache for exactly this reason; TupleChain (arXiv:2408.04390)
+and Flow Correlator (arXiv:2305.02918) both identify lookup cost — not
+install cost — as the throughput lever.
+
+:class:`FastPathIndex` memoizes, per exact ``flow.values`` signature, a
+:class:`~repro.cache.base.HitReplay` record of the first full lookup:
+the winning rule chain and its recorded ``groups_probed`` /
+``tables_hit`` counts.  Repeat packets replay the record — touching the
+same rules' ``last_used`` / ``hit_count`` and LRU positions, bumping the
+same counters, and returning the same probe counts — so every simulator
+metric (hit/miss stats, idle expiry, LRU eviction order, Fig. 11
+sharing, latency, CPU breakdown) is *bit-identical* with the fast path
+on or off.
+
+Correctness hinges on **epoch-based invalidation**: every structural
+cache mutation (install, eviction, idle sweep, ``clear()``,
+revalidation) bumps :attr:`~repro.cache.base.FlowCache.mutation_epoch`;
+a memoized record made at epoch *e* is replayed only while the cache is
+still at epoch *e* and dropped lazily otherwise.  Lookups whose own side
+effects mutate the cache (e.g. a hierarchy hit that promotes into the
+Microflow level) are never memoized — the epoch moved during the lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..cache.base import CacheResult, FlowCache
+from ..flow.key import FlowKey
+
+
+class FastPathIndex:
+    """Exact-match memo of cache-hit side effects, epoch-invalidated.
+
+    Attributes:
+        cache: The cache whose lookups are being memoized.
+        max_entries: Memo size bound; the memo is dropped wholesale when
+            it would grow past this (a full rebuild is cheap relative to
+            the lookups it saves, and the bound is far above any
+            realistic flow count).
+        memo_hits: Lookups served by replaying a memoized record.
+        memo_misses: Lookups that ran the full cache search.
+        invalidations: Records dropped because their epoch went stale.
+    """
+
+    def __init__(self, cache: FlowCache, max_entries: int = 1 << 20):
+        if max_entries <= 0:
+            raise ValueError(
+                f"max_entries must be positive, got {max_entries}"
+            )
+        self.cache = cache
+        self.max_entries = max_entries
+        self._memo: Dict[Tuple[int, ...], object] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def lookup(self, flow: FlowKey, now: float = 0.0) -> CacheResult:
+        """Serve a lookup from the memo when possible, else run (and
+        memoize) the full cache lookup."""
+        cache = self.cache
+        epoch = cache.mutation_epoch
+        signature = flow.values
+        memo = self._memo
+        record = memo.get(signature)
+        if record is not None:
+            if record.epoch == epoch:
+                self.memo_hits += 1
+                return record.replay(now)
+            del memo[signature]
+            self.invalidations += 1
+        self.memo_misses += 1
+        result, record = cache.lookup_traced(flow, now)
+        # Memoize only side-effect-free hits: if the lookup itself moved
+        # the epoch (e.g. hierarchy promotion), the record is already
+        # stale and replaying it would diverge from the full path.
+        if record is not None and cache.mutation_epoch == epoch:
+            if len(memo) >= self.max_entries:
+                memo.clear()
+            record.epoch = epoch
+            memo[signature] = record
+        return result
+
+    def clear(self) -> None:
+        """Drop every memoized record (counters are preserved)."""
+        self._memo.clear()
+
+    @property
+    def memo_hit_rate(self) -> float:
+        total = self.memo_hits + self.memo_misses
+        return self.memo_hits / total if total else 0.0

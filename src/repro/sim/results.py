@@ -67,6 +67,10 @@ class SimResult:
         series: Windowed hit-rate time series.
         sharing: Mean sub-traversal reuse (Gigaflow only, else None).
         coverage: Rule-space coverage (Gigaflow chains / Megaflow entries).
+        cache_probes: Total classifier mask groups hashed across every
+            cache lookup (hits and misses) — the TSS search-cost metric;
+            identical with the fast path on or off because memoized hits
+            replay the recorded probe counts.
     """
 
     system: str
@@ -81,6 +85,7 @@ class SimResult:
     series: TimeSeries
     sharing: Optional[float] = None
     coverage: Optional[int] = None
+    cache_probes: int = 0
 
     @property
     def hit_rate(self) -> float:

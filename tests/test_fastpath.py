@@ -1,0 +1,152 @@
+"""Tests for the exact-match fast path (FastPathIndex).
+
+Two properties matter:
+
+1. **Metric faithfulness** — running a simulation with the fast path on
+   must produce a :class:`~repro.sim.results.SimResult` identical in
+   every field to running it with the fast path off, for every caching
+   system and with idle eviction enabled (the differential test).
+2. **Epoch invalidation** — any structural cache mutation (install,
+   idle eviction, clear) must invalidate memoized records so replays
+   never serve stale state.
+"""
+
+import pytest
+
+from repro.cache import MicroflowCache
+from repro.flow import ActionList, Output
+from repro.pipeline import PSC
+from repro.sim import (
+    AdaptiveGigaflowSystem,
+    FastPathIndex,
+    GigaflowSystem,
+    HierarchySystem,
+    MegaflowSystem,
+    SimConfig,
+    VSwitchSimulator,
+)
+from repro.workload import build_workload
+
+from conftest import flow
+
+N_FLOWS = 400
+
+SYSTEMS = {
+    "megaflow": lambda: MegaflowSystem(capacity=300),
+    "gigaflow": lambda: GigaflowSystem(num_tables=4, table_capacity=200),
+    "gigaflow-adaptive": lambda: AdaptiveGigaflowSystem(
+        num_tables=4, table_capacity=200
+    ),
+    "hierarchy": lambda: HierarchySystem(
+        microflow_capacity=150, megaflow_capacity=300
+    ),
+}
+
+
+def run_once(make_system, fast_path: bool):
+    workload = build_workload(PSC, n_flows=N_FLOWS, locality="high", seed=11)
+    trace = workload.trace(seed=3)
+    config = SimConfig(
+        max_idle=4.0, sweep_interval=2.0, fast_path=fast_path
+    )
+    simulator = VSwitchSimulator(workload.pipeline, make_system(), config)
+    return simulator.run(trace), simulator
+
+
+class TestDifferentialEquivalence:
+    """Fast path on vs off must be indistinguishable in every metric."""
+
+    @pytest.mark.parametrize("name", sorted(SYSTEMS))
+    def test_simresult_identical(self, name):
+        fast, sim_fast = run_once(SYSTEMS[name], fast_path=True)
+        slow, sim_slow = run_once(SYSTEMS[name], fast_path=False)
+
+        assert fast.system == slow.system
+        assert fast.stats == slow.stats
+        assert fast.packets == slow.packets
+        assert fast.entry_count == slow.entry_count
+        assert fast.peak_entries == slow.peak_entries
+        assert fast.capacity == slow.capacity
+        assert fast.avg_latency_us == slow.avg_latency_us
+        assert fast.avg_miss_cost_us == slow.avg_miss_cost_us
+        assert fast.cpu == slow.cpu
+        assert fast.sharing == slow.sharing
+        assert fast.coverage == slow.coverage
+        assert fast.cache_probes == slow.cache_probes
+        assert fast.series.buckets() == slow.series.buckets()
+
+        # The fast run actually exercised the memo.
+        assert sim_fast.fastpath is not None
+        assert sim_fast.fastpath.memo_hits > 0
+        assert sim_slow.fastpath is None
+
+
+class TestEpochInvalidation:
+    """install / evict / clear must each invalidate memoized flows."""
+
+    @staticmethod
+    def warm(capacity=8):
+        cache = MicroflowCache(capacity=capacity)
+        fastpath = FastPathIndex(cache)
+        target = flow(tp_src=1)
+        cache.install(target, ActionList([Output(1)]), now=0.0)
+        assert fastpath.lookup(target, now=1.0).hit  # full lookup, memoized
+        assert fastpath.lookup(target, now=2.0).hit  # memo replay
+        assert fastpath.memo_hits == 1
+        return cache, fastpath, target
+
+    def test_memo_replay_matches_full_lookup(self):
+        cache, fastpath, target = self.warm()
+        replayed = fastpath.lookup(target, now=3.0)
+        full = cache.lookup(target, now=3.0)
+        assert replayed.hit and full.hit
+        assert replayed.actions == full.actions
+        assert replayed.groups_probed == full.groups_probed
+        assert replayed.tables_hit == full.tables_hit
+
+    def test_install_invalidates(self):
+        cache, fastpath, target = self.warm()
+        cache.install(flow(tp_src=2), ActionList([Output(2)]), now=3.0)
+        assert fastpath.lookup(target, now=4.0).hit
+        assert fastpath.invalidations == 1
+        assert fastpath.memo_hits == 1  # re-ran the full lookup
+
+    def test_evict_idle_invalidates(self):
+        cache, fastpath, target = self.warm()
+        assert cache.evict_idle(now=100.0, max_idle=5.0) == 1
+        assert not fastpath.lookup(target, now=101.0).hit
+        assert fastpath.invalidations == 1
+
+    def test_clear_invalidates(self):
+        cache, fastpath, target = self.warm()
+        cache.clear()
+        assert not fastpath.lookup(target, now=3.0).hit
+        assert fastpath.invalidations == 1
+
+    def test_replay_keeps_lru_faithful(self):
+        # A memo replay must refresh recency exactly like a real lookup:
+        # the replayed flow survives eviction, the untouched one dies.
+        cache = MicroflowCache(capacity=2)
+        fastpath = FastPathIndex(cache)
+        a, b, c = (flow(tp_src=i) for i in range(3))
+        cache.install(a, ActionList([Output(1)]), now=0.0)
+        cache.install(b, ActionList([Output(2)]), now=1.0)
+        assert fastpath.lookup(a, now=2.0).hit   # memoize a
+        assert fastpath.lookup(a, now=3.0).hit   # replay touches a's LRU slot
+        cache.install(c, ActionList([Output(3)]), now=4.0)  # evicts b, not a
+        assert cache.lookup(a, now=5.0).hit
+        assert not cache.lookup(b, now=5.0).hit
+
+    def test_memo_bound_resets_wholesale(self):
+        cache = MicroflowCache(capacity=8)
+        fastpath = FastPathIndex(cache, max_entries=2)
+        flows = [flow(tp_src=i) for i in range(3)]
+        for i, f in enumerate(flows):
+            cache.install(f, ActionList([Output(i)]), now=float(i))
+        for f in flows:
+            assert fastpath.lookup(f, now=10.0).hit
+        assert len(fastpath) <= 2
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError):
+            FastPathIndex(MicroflowCache(capacity=2), max_entries=0)

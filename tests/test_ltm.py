@@ -104,9 +104,11 @@ class TestLtmTable:
         b = ltm_rule({"tp_dst": 2})
         table.insert(a)
         table.insert(b)
-        a.last_used = 5.0
-        b.last_used = 1.0
+        table.touch(b, 1.0)
+        table.touch(a, 5.0)
         assert table.lru_rule() is b
+        assert a.last_used == 5.0
+        assert b.last_used == 1.0
 
     def test_tag_histogram(self):
         table = LtmTable(0, capacity=8)
