@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field as dataclass_field
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from ..flow.actions import ActionList
 from ..flow.key import FlowKey
@@ -102,6 +102,21 @@ class FlowCache(abc.ABC):
     def __init__(self) -> None:
         self.stats = CacheStats()
         self._mutation_epoch = 0
+        #: Attached :class:`~repro.obs.telemetry.Telemetry`, or ``None``.
+        #: Instrumentation sites guard on this so the detached default
+        #: costs one attribute check.
+        self.telemetry = None
+        self.telemetry_name = self.name
+
+    def attach_telemetry(self, telemetry, name: Optional[str] = None) -> None:
+        """Wire this cache (and any sub-components) to a telemetry hub."""
+        self.telemetry = telemetry
+        self.telemetry_name = name or self.name
+
+    def last_used_times(self) -> Iterable[float]:
+        """Per-entry last-use times — the LRU-age snapshot source.
+        Caches without recency state return an empty iterable."""
+        return ()
 
     @property
     def mutation_epoch(self) -> int:

@@ -135,6 +135,19 @@ class CacheHierarchy(FlowCache):
         self.microflow.clear()
         self.megaflow.clear()
 
+    def attach_telemetry(self, telemetry, name: Optional[str] = None) -> None:
+        super().attach_telemetry(telemetry, name)
+        self.microflow.attach_telemetry(
+            telemetry, f"{self.telemetry_name}.microflow"
+        )
+        self.megaflow.attach_telemetry(
+            telemetry, f"{self.telemetry_name}.megaflow"
+        )
+
+    def last_used_times(self):
+        yield from self.microflow.last_used_times()
+        yield from self.megaflow.last_used_times()
+
     @property
     def microflow_hit_fraction(self) -> float:
         """Share of hierarchy hits served by the exact-match level."""

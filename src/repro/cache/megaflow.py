@@ -195,7 +195,7 @@ class MegaflowCache(FlowCache):
             victim = next(
                 e for e in self._by_match.values() if e.rule_id == victim_id
             )
-            self.remove(victim)
+            self.remove(victim, reason="lru")
         entry.last_used = now
         self._classifier.insert(entry)
         self._by_match[entry.match] = entry
@@ -215,12 +215,15 @@ class MegaflowCache(FlowCache):
         entry = build_megaflow_entry(traversal, start_table, generation, now)
         return self.install(entry, now)
 
-    def remove(self, entry: MegaflowEntry) -> None:
+    def remove(self, entry: MegaflowEntry, reason: str = "evict") -> None:
         self._classifier.remove(entry)
         del self._by_match[entry.match]
         self._lru.forget(entry.rule_id)
         self.stats.evictions += 1
         self.bump_epoch()
+        tel = self.telemetry
+        if tel is not None:
+            tel.on_evict(self.telemetry_name, reason)
 
     def entry_count(self) -> int:
         return len(self._by_match)
@@ -235,14 +238,29 @@ class MegaflowCache(FlowCache):
             if now - entry.last_used > max_idle
         ]
         for entry in stale:
-            self.remove(entry)
+            self.remove(entry, reason="idle")
         return len(stale)
 
     def clear(self) -> None:
+        dropped = len(self._by_match)
         self._classifier.clear()
         self._by_match.clear()
         self._lru.clear()
         self.bump_epoch()
+        tel = self.telemetry
+        if tel is not None and dropped:
+            tel.on_evict(self.telemetry_name, "clear", dropped)
+
+    # -- observability ----------------------------------------------------------------
+
+    def attach_telemetry(self, telemetry, name: Optional[str] = None) -> None:
+        super().attach_telemetry(telemetry, name)
+        self._classifier.observer = telemetry.tss_observer(
+            self.telemetry_name
+        )
+
+    def last_used_times(self) -> Iterator[float]:
+        return (entry.last_used for entry in self._by_match.values())
 
     # -- introspection ----------------------------------------------------------------
 

@@ -78,6 +78,9 @@ class MicroflowCache(FlowCache):
         if len(self._entries) >= self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            tel = self.telemetry
+            if tel is not None:
+                tel.on_evict(self.telemetry_name, "lru")
         self._entries[key] = _Entry(actions, now)
         self.stats.insertions += 1
         self.bump_epoch()
@@ -100,11 +103,21 @@ class MicroflowCache(FlowCache):
         self.stats.evictions += len(stale)
         if stale:
             self.bump_epoch()
+            tel = self.telemetry
+            if tel is not None:
+                tel.on_evict(self.telemetry_name, "idle", len(stale))
         return len(stale)
 
     def clear(self) -> None:
+        dropped = len(self._entries)
         self._entries.clear()
         self.bump_epoch()
+        tel = self.telemetry
+        if tel is not None and dropped:
+            tel.on_evict(self.telemetry_name, "clear", dropped)
+
+    def last_used_times(self):
+        return (entry.last_used for entry in self._entries.values())
 
 
 class _Entry:

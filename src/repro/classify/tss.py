@@ -149,6 +149,10 @@ class TupleSpaceClassifier(Generic[RuleT]):
     ):
         self.schema = schema
         self.staged = staged
+        #: Optional telemetry callback ``(groups_probed, matched)`` fired
+        #: after every lookup; ``None`` (the default) costs one attribute
+        #: check on the hot path.
+        self.observer = None
         self._groups: Dict[Tuple[int, ...], _Group[RuleT]] = {}
         self._ordered: List[_Group[RuleT]] = []
         self._order_dirty = False
@@ -294,6 +298,9 @@ class TupleSpaceClassifier(Generic[RuleT]):
         wildcard = None
         if unwildcard:
             wildcard = Wildcard(self.schema, acc)
+        observer = self.observer
+        if observer is not None:
+            observer(probed, best is not None)
         return LookupResult(best, wildcard, probed)
 
     # -- internals --------------------------------------------------------------------

@@ -12,7 +12,13 @@ coverage
     Table 2-style rule-space coverage for one pipeline.
 bench
     Fast-path benchmark: replay one pipebench trace with the exact-match
-    fast path on and off, write ``BENCH_fastpath.json``.
+    fast path on and off, write ``BENCH_fastpath.json``; then measure the
+    telemetry overhead (off / metrics / metrics+trace) into
+    ``BENCH_obs.json``.  ``--smoke`` shrinks it for CI.
+stats
+    Run one simulation with full telemetry attached and export the
+    metrics (Prometheus text, JSON, or a rendered table); ``--trace-out``
+    streams per-packet trace events to a JSONL file.
 
 For the full per-figure report, run ``examples/reproduce_all.py``.
 """
@@ -103,6 +109,30 @@ def cmd_coverage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_system(name: str, capacity: int):
+    from .sim import (
+        AdaptiveGigaflowSystem,
+        GigaflowSystem,
+        HierarchySystem,
+        MegaflowSystem,
+    )
+
+    if name == "megaflow":
+        return MegaflowSystem(capacity=capacity)
+    if name == "hierarchy":
+        return HierarchySystem(
+            microflow_capacity=max(capacity // 4, 2),
+            megaflow_capacity=capacity,
+        )
+    if name == "adaptive":
+        return AdaptiveGigaflowSystem(
+            num_tables=4, table_capacity=max(capacity // 4, 2)
+        )
+    return GigaflowSystem(
+        num_tables=4, table_capacity=max(capacity // 4, 2)
+    )
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from .pipeline.library import get_pipeline_spec
     from .sim import (
@@ -112,6 +142,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         VSwitchSimulator,
     )
     from .workload import TraceProfile, build_workload
+
+    if args.smoke:
+        # CI-sized run: seconds, not minutes, same code paths.
+        args.flows = min(args.flows, 300)
+        args.duration = min(args.duration, 8.0)
+        args.mean_flow_size = min(args.mean_flow_size, 64.0)
 
     spec = get_pipeline_spec(args.pipeline.upper())
     profile = TraceProfile(
@@ -184,6 +220,156 @@ def cmd_bench(args: argparse.Namespace) -> int:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     print(f"wrote {args.output}")
+
+    _bench_obs(args, spec)
+    return 0
+
+
+def _bench_obs(args: argparse.Namespace, spec) -> None:
+    """Measure the telemetry subsystem's cost: off / metrics / +trace.
+
+    All three runs keep the fast path on (the production configuration)
+    and replay the identical trace, so the packets/sec deltas isolate
+    the observability overhead.  ``obs_off`` also *is* the instrumented-
+    but-disabled hot path — its throughput vs the fastpath section above
+    bounds the cost of the dormant hooks.
+    """
+    from .obs import Telemetry
+    from .sim import SimConfig, VSwitchSimulator
+    from .workload import TraceProfile, build_workload
+
+    profile = TraceProfile(
+        mean_flow_size=args.mean_flow_size, duration=args.duration
+    )
+    capacity = args.capacity or max(args.flows * 2, 8)
+    variants = {
+        "obs_off": lambda: None,
+        "obs_metrics": lambda: Telemetry(tracing=False),
+        "obs_trace": lambda: Telemetry(
+            tracing=True, trace_capacity=args.trace_capacity
+        ),
+    }
+    report = {
+        "pipeline": spec.name,
+        "flows": args.flows,
+        "capacity": capacity,
+        "duration": args.duration,
+        "seed": args.seed,
+        "system": "gigaflow",
+        "runs": {},
+    }
+    baseline = None
+    reference = None
+    for name, make_telemetry in variants.items():
+        workload = build_workload(
+            spec, n_flows=args.flows, locality=args.locality,
+            seed=args.seed,
+        )
+        trace = workload.trace(profile=profile, seed=args.trace_seed)
+        telemetry = make_telemetry()
+        config = SimConfig(fast_path=True, telemetry=telemetry)
+        simulator = VSwitchSimulator(
+            workload.pipeline, _make_system("gigaflow", capacity), config
+        )
+        start = time.perf_counter()
+        result = simulator.run(trace)
+        elapsed = time.perf_counter() - start
+        pps = result.packets / elapsed
+        run = {
+            "seconds": round(elapsed, 3),
+            "packets_per_sec": round(pps, 1),
+            "hit_rate": round(result.hit_rate, 6),
+            "cache_probes": result.cache_probes,
+        }
+        if telemetry is not None:
+            run["trace_events"] = telemetry.tracer.emitted
+        if baseline is None:
+            baseline = pps
+            reference = (run["hit_rate"], run["cache_probes"])
+        else:
+            run["overhead_vs_off"] = round(1.0 - pps / baseline, 4)
+            run["metrics_identical"] = (
+                (run["hit_rate"], run["cache_probes"]) == reference
+            )
+        report["runs"][name] = run
+        extra = (
+            f"  overhead={run['overhead_vs_off']:+.1%}"
+            if "overhead_vs_off" in run else ""
+        )
+        print(f"{name:12} {elapsed:6.2f}s  {pps:>9,.0f} pps{extra}")
+
+    with open(args.obs_output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.obs_output}")
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from .core.revalidation import (
+        GigaflowRevalidator,
+        MegaflowRevalidator,
+    )
+    from .obs import Telemetry
+    from .pipeline.library import get_pipeline_spec
+    from .report import render_telemetry
+    from .sim import SimConfig, VSwitchSimulator
+    from .workload import TraceProfile, build_workload
+
+    spec = get_pipeline_spec(args.pipeline.upper())
+    capacity = args.capacity or max(args.flows * 2, 8)
+    system = _make_system(args.system, capacity)
+    telemetry = Telemetry(
+        trace_capacity=args.trace_capacity,
+        tracing=args.format == "text" or args.trace_out is not None,
+        trace_sink=args.trace_out,
+    )
+    workload = build_workload(
+        spec, n_flows=args.flows, locality=args.locality, seed=args.seed
+    )
+    profile = TraceProfile(
+        mean_flow_size=args.mean_flow_size, duration=args.duration
+    )
+    trace = workload.trace(profile=profile, seed=args.trace_seed)
+    config = SimConfig(
+        max_idle=args.max_idle,
+        sweep_interval=args.sweep_interval,
+        telemetry=telemetry,
+    )
+    simulator = VSwitchSimulator(workload.pipeline, system, config)
+    result = simulator.run(trace)
+
+    # One end-of-run revalidation cycle so consistency counters reflect
+    # a full operational loop (lookup → install → sweep → revalidate).
+    cache = system.cache
+    if hasattr(cache, "tables"):
+        GigaflowRevalidator(workload.pipeline, cache).revalidate(
+            now=args.duration
+        )
+    elif hasattr(cache, "megaflow"):
+        MegaflowRevalidator(
+            workload.pipeline, cache.megaflow
+        ).revalidate(now=args.duration)
+    else:
+        MegaflowRevalidator(workload.pipeline, cache).revalidate(
+            now=args.duration
+        )
+
+    if args.format == "prom":
+        print(telemetry.registry.to_prometheus(), end="")
+    elif args.format == "json":
+        payload = {
+            "metrics": telemetry.registry.to_json(),
+            "summary": telemetry.summary(),
+            "snapshots": [s.to_dict() for s in telemetry.snapshots],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(result.summary())
+        print()
+        print(render_telemetry(telemetry.summary()))
+    if args.trace_out:
+        telemetry.close()
+        print(f"wrote trace events to {args.trace_out}", file=sys.stderr)
     return 0
 
 
@@ -253,6 +439,74 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default="BENCH_fastpath.json",
         help="where to write the JSON report",
     )
+    bench.add_argument(
+        "--obs-output", default="BENCH_obs.json",
+        help="where to write the telemetry-overhead report",
+    )
+    bench.add_argument(
+        "--trace-capacity", type=int, default=65536,
+        help="ring-buffer size for the obs_trace variant",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized run (<=300 flows, <=8s trace)",
+    )
+
+    stats = sub.add_parser(
+        "stats",
+        help="run one simulation with telemetry and export the metrics",
+    )
+    stats.add_argument(
+        "pipeline", nargs="?", default="psc",
+        choices=[p.lower() for p in PIPELINES] + list(PIPELINES),
+    )
+    stats.add_argument(
+        "--system",
+        choices=("gigaflow", "megaflow", "hierarchy", "adaptive"),
+        default="gigaflow",
+    )
+    stats.add_argument(
+        "--flows", type=int, default=1000,
+        help="unique flow classes (default 1000)",
+    )
+    stats.add_argument(
+        "--capacity", type=int, default=None,
+        help="total cache entries (default 2x flows)",
+    )
+    stats.add_argument(
+        "--locality", choices=("high", "low"), default="high",
+    )
+    stats.add_argument(
+        "--mean-flow-size", type=float, default=64.0,
+        help="mean packets per flow (default 64)",
+    )
+    stats.add_argument(
+        "--duration", type=float, default=20.0,
+        help="trace duration in seconds (default 20)",
+    )
+    stats.add_argument(
+        "--max-idle", type=float, default=5.0,
+        help="idle-expiry threshold in seconds (0 disables; default 5)",
+    )
+    stats.add_argument(
+        "--sweep-interval", type=float, default=2.5,
+        help="sweep/snapshot cadence in seconds (default 2.5)",
+    )
+    stats.add_argument("--seed", type=int, default=7)
+    stats.add_argument("--trace-seed", type=int, default=3)
+    stats.add_argument(
+        "--format", choices=("prom", "json", "text"), default="prom",
+        help="prom = Prometheus text exposition (default), "
+             "json = metrics+snapshots document, text = rendered table",
+    )
+    stats.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="stream per-packet trace events to a JSONL file",
+    )
+    stats.add_argument(
+        "--trace-capacity", type=int, default=65536,
+        help="in-memory trace ring-buffer size",
+    )
     return parser
 
 
@@ -262,6 +516,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "coverage": cmd_coverage,
     "bench": cmd_bench,
+    "stats": cmd_stats,
 }
 
 

@@ -139,11 +139,16 @@ class GigaflowCache(FlowCache):
         matched: List[Tuple[LtmTable, LtmRule]] = []
         tables_hit = 0
         probes = 0
+        tel = self.telemetry
         for table in self.tables:
             if tag == TAG_DONE:
                 break
             rule, groups = table.lookup(current, tag)
             probes += max(groups, 1)
+            if tel is not None:
+                tel.on_ltm_probe(
+                    table.index, tag, groups, rule is not None, now
+                )
             if rule is None:
                 continue  # pass-through: not this packet's next segment
             tables_hit += 1
@@ -284,6 +289,9 @@ class GigaflowCache(FlowCache):
             return None
         self.tables[victim_table].remove(victim)
         self.stats.evictions += 1
+        tel = self.telemetry
+        if tel is not None:
+            tel.on_evict(self.telemetry_name, "lru")
         return victim_table
 
     # -- FlowCache bookkeeping ----------------------------------------------------------
@@ -306,22 +314,46 @@ class GigaflowCache(FlowCache):
         self.stats.evictions += evicted
         if evicted:
             self.bump_epoch()
+            tel = self.telemetry
+            if tel is not None:
+                tel.on_evict(self.telemetry_name, "idle", evicted)
         return evicted
 
-    def remove_rule(self, rule: LtmRule) -> None:
+    def remove_rule(self, rule: LtmRule, reason: str = "reval") -> None:
         """Remove a specific rule (revalidation eviction)."""
         for table in self.tables:
             if table.find_identical(rule.identity()) is rule:
                 table.remove(rule)
                 self.stats.evictions += 1
                 self.bump_epoch()
+                tel = self.telemetry
+                if tel is not None:
+                    tel.on_evict(self.telemetry_name, reason)
                 return
         raise KeyError(f"rule not installed: {rule!r}")
 
     def clear(self) -> None:
+        dropped = self.entry_count()
         for table in self.tables:
             table.clear()
         self.bump_epoch()
+        tel = self.telemetry
+        if tel is not None and dropped:
+            tel.on_evict(self.telemetry_name, "clear", dropped)
+
+    # -- observability -------------------------------------------------------------------
+
+    def attach_telemetry(self, telemetry, name=None) -> None:
+        super().attach_telemetry(telemetry, name)
+        for table in self.tables:
+            table.set_observer(
+                telemetry.tss_observer(
+                    f"{self.telemetry_name}.gf{table.index}"
+                )
+            )
+
+    def last_used_times(self):
+        return (rule.last_used for rule in self)
 
     # -- introspection -------------------------------------------------------------------
 

@@ -119,6 +119,9 @@ class LtmTable:
         self.index = index
         self.capacity = capacity
         self.schema = schema
+        #: Telemetry callback ``(groups_probed, matched)`` propagated to
+        #: every per-tag classifier bucket (``None`` = not observed).
+        self._observer = None
         self._by_tag: Dict[int, TupleSpaceClassifier[LtmRule]] = {}
         self._by_identity: Dict[Tuple, LtmRule] = {}
         #: Recency list: least-recently-touched rule first.  All
@@ -161,6 +164,7 @@ class LtmTable:
         bucket = self._by_tag.get(rule.tag)
         if bucket is None:
             bucket = TupleSpaceClassifier(self.schema)
+            bucket.observer = self._observer
             self._by_tag[rule.tag] = bucket
         bucket.insert(rule)
         self._by_identity[identity] = rule
@@ -213,6 +217,15 @@ class LtmTable:
         for rule in self._recency.values():
             return rule
         return None
+
+    # -- observability ------------------------------------------------------------------
+
+    def set_observer(self, observer) -> None:
+        """Install a TSS lookup observer on every (current and future)
+        per-tag bucket of this table."""
+        self._observer = observer
+        for bucket in self._by_tag.values():
+            bucket.observer = observer
 
     # -- introspection ------------------------------------------------------------------
 

@@ -47,6 +47,7 @@ class MegaflowRevalidator:
 
     def revalidate(self, now: float = 0.0) -> RevalidationReport:
         report = RevalidationReport()
+        tel = self.cache.telemetry
         for entry in list(self.cache):
             report.entries_checked += 1
             replay = self.pipeline.replay(
@@ -60,10 +61,16 @@ class MegaflowRevalidator:
                 regenerated.match != entry.match
                 or regenerated.actions != entry.actions
             ):
-                self.cache.remove(entry)
+                self.cache.remove(entry, reason="reval")
                 report.entries_evicted += 1
+                verdict = "evicted"
             else:
                 entry.generation = self.pipeline.generation
+                verdict = "consistent"
+            if tel is not None:
+                tel.on_revalidate(
+                    self.cache.telemetry_name, verdict, len(replay), now
+                )
         if report.entries_evicted:
             # Removals already bump the cache's mutation epoch; bump once
             # more so a revalidation cycle is always visible to fast-path
@@ -81,6 +88,7 @@ class GigaflowRevalidator:
 
     def revalidate(self, now: float = 0.0) -> RevalidationReport:
         report = RevalidationReport()
+        tel = self.cache.telemetry
         for rule in list(self.cache):
             report.entries_checked += 1
             replay = self.pipeline.replay(
@@ -91,20 +99,28 @@ class GigaflowRevalidator:
                 # The path from this tag got shorter — stale.
                 self.cache.remove_rule(rule)
                 report.entries_evicted += 1
-                continue
-            regenerated = build_ltm_rule(
-                replay.sub(0, len(replay)), self.pipeline.generation, now
-            )
-            expected_next = regenerated.next_tag
-            if (
-                regenerated.match != rule.match
-                or regenerated.actions != rule.actions
-                or expected_next != rule.next_tag
-            ):
-                self.cache.remove_rule(rule)
-                report.entries_evicted += 1
+                verdict = "evicted"
             else:
-                rule.generation = self.pipeline.generation
+                regenerated = build_ltm_rule(
+                    replay.sub(0, len(replay)), self.pipeline.generation,
+                    now,
+                )
+                expected_next = regenerated.next_tag
+                if (
+                    regenerated.match != rule.match
+                    or regenerated.actions != rule.actions
+                    or expected_next != rule.next_tag
+                ):
+                    self.cache.remove_rule(rule)
+                    report.entries_evicted += 1
+                    verdict = "evicted"
+                else:
+                    rule.generation = self.pipeline.generation
+                    verdict = "consistent"
+            if tel is not None:
+                tel.on_revalidate(
+                    self.cache.telemetry_name, verdict, len(replay), now
+                )
         if report.entries_evicted:
             # See MegaflowRevalidator.revalidate: keep revalidation
             # visible to fast-path memo invalidation in its own right.

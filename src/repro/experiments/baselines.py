@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from ..cache.hierarchy import CacheHierarchy
-from ..metrics.latency import HIT_LATENCY_US, LatencyModel
+from ..metrics.latency import LatencyModel
 from ..pipeline.traversal import Traversal
 from ..sim.engine import (
     CachingSystem,

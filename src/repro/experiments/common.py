@@ -10,11 +10,11 @@ flow:capacity ratio and the workload geometry are.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, Optional, Tuple
 
-from ..pipeline.library import PIPELINES, PipelineSpec, get_pipeline_spec
+from ..pipeline.library import get_pipeline_spec
 from ..sim.engine import (
     GigaflowSystem,
     MegaflowSystem,

@@ -18,9 +18,7 @@ from typing import Dict, Tuple
 
 from .common import (
     ExperimentScale,
-    LOCALITIES,
     PIPELINE_NAMES,
-    PairResult,
     SMALL_SCALE,
     run_all_pairs,
 )

@@ -29,7 +29,6 @@ from ..flow.actions import (
 from ..flow.fields import DEFAULT_SCHEMA, Field, FieldSchema
 from ..flow.key import FlowKey
 from ..flow.match import TernaryMatch
-from ..flow.wildcard import Wildcard
 from ..pipeline.pipeline import Pipeline
 from ..pipeline.rule import PipelineRule
 from ..pipeline.table import PipelineTable

@@ -1,0 +1,60 @@
+"""Zero-dependency runtime telemetry: metrics, tracing, cache snapshots.
+
+See ``docs/observability.md`` for the metric catalog and trace-event
+schema.  The subsystem is opt-in: nothing in the simulator touches it
+unless a :class:`Telemetry` is attached via
+:attr:`~repro.sim.engine.SimConfig.telemetry`.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+from .snapshot import AGE_BUCKETS, CacheSnapshot, age_histogram, take_snapshot
+from .telemetry import Telemetry
+from .trace import (
+    EV_EVICT,
+    EV_FASTPATH_INVALIDATE,
+    EV_FASTPATH_REPLAY,
+    EV_INSTALL,
+    EV_LOOKUP_HIT,
+    EV_LOOKUP_MISS,
+    EV_LOOKUP_START,
+    EV_LTM_PROBE,
+    EV_REVALIDATE,
+    EV_SNAPSHOT,
+    EV_SWEEP,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "AGE_BUCKETS",
+    "EV_EVICT",
+    "EV_FASTPATH_INVALIDATE",
+    "EV_FASTPATH_REPLAY",
+    "EV_INSTALL",
+    "EV_LOOKUP_HIT",
+    "EV_LOOKUP_MISS",
+    "EV_LOOKUP_START",
+    "EV_LTM_PROBE",
+    "EV_REVALIDATE",
+    "EV_SNAPSHOT",
+    "EV_SWEEP",
+    "CacheSnapshot",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Telemetry",
+    "TraceEvent",
+    "Tracer",
+    "age_histogram",
+    "parse_prometheus_text",
+    "take_snapshot",
+]

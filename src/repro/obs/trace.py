@@ -1,0 +1,134 @@
+"""Structured per-packet trace events.
+
+A :class:`Tracer` collects :class:`TraceEvent` records into a bounded
+in-memory ring buffer and, optionally, streams them to a JSONL sink.
+Tracing is *opt-in twice over*: instrumented code only reaches a tracer
+through an attached :class:`~repro.obs.telemetry.Telemetry`, and every
+emission site guards on :attr:`Tracer.enabled` — with telemetry detached
+(the default) the hot paths pay exactly one attribute check.
+
+Event vocabulary (the ``event`` field; see ``docs/observability.md`` for
+the per-event field schema):
+
+========================  =====================================================
+``lookup_start``          a packet entered the cache lookup
+``lookup_hit``            the cache fully handled the packet
+``lookup_miss``           the packet fell through to the slow path
+``ltm_probe``             one Gigaflow LTM table was probed (per table)
+``install``               a traced traversal's rules were offered to the cache
+``evict``                 cache entries were removed (reason: lru/idle/reval/clear)
+``revalidate``            one entry's revalidation verdict (consistent/evicted)
+``fastpath_replay``       a memoized exact-match record served the lookup
+``fastpath_invalidate``   a memoized record was dropped (stale epoch)
+``sweep``                 the engine's idle sweep fired
+``snapshot``              a periodic occupancy/churn snapshot was taken
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, List, Optional, Union
+
+__all__ = ["TraceEvent", "Tracer"]
+
+EV_LOOKUP_START = "lookup_start"
+EV_LOOKUP_HIT = "lookup_hit"
+EV_LOOKUP_MISS = "lookup_miss"
+EV_LTM_PROBE = "ltm_probe"
+EV_INSTALL = "install"
+EV_EVICT = "evict"
+EV_REVALIDATE = "revalidate"
+EV_FASTPATH_REPLAY = "fastpath_replay"
+EV_FASTPATH_INVALIDATE = "fastpath_invalidate"
+EV_SWEEP = "sweep"
+EV_SNAPSHOT = "snapshot"
+
+
+class TraceEvent:
+    """One structured event: a timestamp, a type, and free-form fields."""
+
+    __slots__ = ("ts", "event", "fields")
+
+    def __init__(self, ts: float, event: str, fields: dict):
+        self.ts = ts
+        self.event = event
+        self.fields = fields
+
+    def to_dict(self) -> dict:
+        out = {"ts": self.ts, "event": self.event}
+        out.update(self.fields)
+        return out
+
+    def __repr__(self) -> str:
+        return f"TraceEvent(ts={self.ts}, event={self.event!r}, {self.fields!r})"
+
+
+class Tracer:
+    """Bounded ring buffer of trace events with an optional JSONL sink.
+
+    Attributes:
+        enabled: The gate every emission site checks.  Constructing a
+            disabled tracer and never flipping this guarantees zero
+            events and (near-)zero overhead.
+        capacity: Ring-buffer size; older events are dropped once full
+            (``dropped`` counts them).  The JSONL sink, when set, sees
+            *every* event regardless of ring wraparound.
+        emitted: Total events emitted since construction.
+        dropped: Events expelled from the ring by wraparound.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        enabled: bool = True,
+        sink: Union[None, str, IO[str]] = None,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.enabled = enabled
+        self.capacity = capacity
+        self._ring: "deque[TraceEvent]" = deque(maxlen=capacity)
+        self.emitted = 0
+        self.dropped = 0
+        self._sink: Optional[IO[str]] = None
+        self._owns_sink = False
+        if isinstance(sink, str):
+            self._sink = open(sink, "w", encoding="utf-8")
+            self._owns_sink = True
+        elif sink is not None:
+            self._sink = sink
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def emit(self, ts: float, event: str, **fields) -> None:
+        """Record one event (call sites must pre-check :attr:`enabled`)."""
+        if not self.enabled:
+            return
+        record = TraceEvent(ts, event, fields)
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(record)
+        self.emitted += 1
+        if self._sink is not None:
+            self._sink.write(json.dumps(record.to_dict()) + "\n")
+
+    def events(self) -> List[TraceEvent]:
+        """The ring's current contents, oldest first."""
+        return list(self._ring)
+
+    def drain(self) -> List[TraceEvent]:
+        """Return and clear the ring (counters are preserved)."""
+        out = list(self._ring)
+        self._ring.clear()
+        return out
+
+    def close(self) -> None:
+        """Flush and close an owned JSONL sink (idempotent)."""
+        if self._sink is not None:
+            self._sink.flush()
+            if self._owns_sink:
+                self._sink.close()
+            self._sink = None

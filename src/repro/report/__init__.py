@@ -5,6 +5,7 @@ from .render import (
     render_comparison,
     render_series,
     render_table,
+    render_telemetry,
 )
 from .dot import dump_dot, gigaflow_to_dot
 
@@ -15,4 +16,5 @@ __all__ = [
     "render_comparison",
     "render_series",
     "render_table",
+    "render_telemetry",
 ]

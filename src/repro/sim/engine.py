@@ -23,6 +23,7 @@ from ..flow.fields import DEFAULT_SCHEMA, FieldSchema
 from ..flow.packet import Packet
 from ..metrics.cpu import CpuBreakdown
 from ..metrics.latency import LatencyModel
+from ..obs.telemetry import Telemetry
 from ..pipeline.pipeline import Pipeline
 from ..pipeline.traversal import Disposition, Traversal
 from ..workload.pipebench import Trace
@@ -212,6 +213,12 @@ class SimConfig:
         fast_path: Memoize repeat-flow cache hits through a
             :class:`~repro.sim.fastpath.FastPathIndex` (metric-faithful:
             every :class:`SimResult` field is identical either way).
+        telemetry: Optional :class:`~repro.obs.telemetry.Telemetry` hub.
+            When set, the engine attaches it to the caching system,
+            emits per-packet metrics/trace events, snapshots cache state
+            on the sweep cadence, and threads a summary into
+            :attr:`SimResult.telemetry`.  Observation-only: every other
+            ``SimResult`` field is bit-identical with it on or off.
     """
 
     max_idle: float = 0.0
@@ -219,6 +226,7 @@ class SimConfig:
     window: float = 10.0
     latency: LatencyModel = field(default_factory=LatencyModel)
     fast_path: bool = True
+    telemetry: Optional[Telemetry] = None
 
 
 class VSwitchSimulator:
@@ -259,12 +267,21 @@ class VSwitchSimulator:
         sweep_interval = config.sweep_interval
         hit_us = config.latency.hit_us
         next_sweep = sweep_interval
-        self.fastpath = FastPathIndex(cache) if config.fast_path else None
+        tel = config.telemetry
+        if tel is not None:
+            tel.attach(cache, system.name)
+        next_snapshot = sweep_interval
+        self.fastpath = (
+            FastPathIndex(cache, telemetry=tel)
+            if config.fast_path
+            else None
+        )
         lookup = (
             self.fastpath.lookup if self.fastpath is not None
             else cache.lookup
         )
 
+        now = 0.0
         for packet in packets:
             now = packet.timestamp
             packet_count += 1
@@ -273,11 +290,23 @@ class VSwitchSimulator:
                 # its scheduled time, so sparse traces neither slide the
                 # schedule nor skip sweeps.
                 while now >= next_sweep:
-                    cache.evict_idle(next_sweep, max_idle)
+                    evicted = cache.evict_idle(next_sweep, max_idle)
+                    if tel is not None:
+                        tel.on_sweep(next_sweep, evicted)
                     next_sweep += sweep_interval
+            if tel is not None:
+                tel.now = now
+                # Snapshots ride the sweep cadence but fire even when
+                # idle expiry is disabled (max_idle == 0).
+                while now >= next_snapshot:
+                    tel.sample(cache, next_snapshot)
+                    next_snapshot += sweep_interval
+                tel.on_lookup_start(now, packet.flow)
 
             result = lookup(packet.flow, now)
             cache_probes += result.groups_probed
+            if tel is not None:
+                tel.on_lookup(result, now, packet.flow)
             if result.hit:
                 latency_sum += hit_us
                 series.record(now, hit=True)
@@ -293,6 +322,11 @@ class VSwitchSimulator:
 
             if traversal.disposition != Disposition.CONTROLLER:
                 cost = system.install(traversal, pipeline.generation, now)
+                if tel is not None:
+                    tel.on_install(
+                        now, lookups, cost.rules_generated,
+                        cost.rules_installed,
+                    )
                 if cost.partition_cells:
                     cpu.charge_partition(
                         lookups, cost.partition_cells // max(lookups, 1)
@@ -312,6 +346,11 @@ class VSwitchSimulator:
             latency_sum += miss_us
             miss_cost_sum += miss_us
 
+        telemetry_summary = None
+        if tel is not None:
+            tel.finalize(cache, now, self.fastpath)
+            telemetry_summary = tel.summary()
+
         stats = cache.stats.snapshot()
         misses = stats.misses
         return SimResult(
@@ -330,6 +369,7 @@ class VSwitchSimulator:
             sharing=system.sharing(),
             coverage=system.coverage(),
             cache_probes=cache_probes,
+            telemetry=telemetry_summary,
         )
 
 

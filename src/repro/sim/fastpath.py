@@ -50,13 +50,19 @@ class FastPathIndex:
         invalidations: Records dropped because their epoch went stale.
     """
 
-    def __init__(self, cache: FlowCache, max_entries: int = 1 << 20):
+    def __init__(
+        self,
+        cache: FlowCache,
+        max_entries: int = 1 << 20,
+        telemetry=None,
+    ):
         if max_entries <= 0:
             raise ValueError(
                 f"max_entries must be positive, got {max_entries}"
             )
         self.cache = cache
         self.max_entries = max_entries
+        self.telemetry = telemetry
         self._memo: Dict[Tuple[int, ...], object] = {}
         self.memo_hits = 0
         self.memo_misses = 0
@@ -73,12 +79,17 @@ class FastPathIndex:
         signature = flow.values
         memo = self._memo
         record = memo.get(signature)
+        tel = self.telemetry
         if record is not None:
             if record.epoch == epoch:
                 self.memo_hits += 1
+                if tel is not None:
+                    tel.on_fastpath_replay(now, flow)
                 return record.replay(now)
             del memo[signature]
             self.invalidations += 1
+            if tel is not None:
+                tel.on_fastpath_invalidate(now, flow)
         self.memo_misses += 1
         result, record = cache.lookup_traced(flow, now)
         # Memoize only side-effect-free hits: if the lookup itself moved

@@ -38,11 +38,22 @@ class TimeSeries:
         return out
 
     def hit_rate_between(self, start: float, stop: float) -> float:
-        """Aggregate hit rate over a time span."""
+        """Aggregate hit rate over the half-open time span ``[start, stop)``.
+
+        A bucket contributes when its window ``[b, b + window)`` overlaps
+        ``[start, stop)`` — so a bucket *straddling* ``stop`` (starting
+        before it, ending after) **is counted in full**, and a bucket
+        straddling ``start`` likewise.  Buckets beginning exactly at
+        ``stop``, or ending exactly at ``start``, are excluded.  Counts
+        are never prorated: the series only stores whole-bucket totals.
+        """
+        if stop <= start:
+            return 0.0
         hits = misses = 0
+        window = self.window
         for bucket in set(self._hits) | set(self._misses):
-            t = bucket * self.window
-            if start <= t < stop:
+            t = bucket * window
+            if t + window > start and t < stop:
                 hits += self._hits.get(bucket, 0)
                 misses += self._misses.get(bucket, 0)
         total = hits + misses
@@ -71,6 +82,10 @@ class SimResult:
             cache lookup (hits and misses) — the TSS search-cost metric;
             identical with the fast path on or off because memoized hits
             replay the recorded probe counts.
+        telemetry: The :meth:`~repro.obs.telemetry.Telemetry.summary`
+            digest when the run had telemetry attached, else ``None``.
+            Purely observational — every *other* field is identical with
+            telemetry on or off.
     """
 
     system: str
@@ -86,6 +101,7 @@ class SimResult:
     sharing: Optional[float] = None
     coverage: Optional[int] = None
     cache_probes: int = 0
+    telemetry: Optional[dict] = None
 
     @property
     def hit_rate(self) -> float:

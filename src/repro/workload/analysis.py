@@ -18,13 +18,12 @@ measurable structural properties; this module computes them for a built
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from ..core.gigaflow import GigaflowCache
 from ..core.ltm import TAG_DONE
-from ..core.partition import disjoint_boundaries, disjoint_partition
-from ..pipeline.traversal import Disposition
+from ..core.partition import disjoint_boundaries
 from .pipebench import PipebenchWorkload
 
 

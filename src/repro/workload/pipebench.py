@@ -29,7 +29,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..flow.actions import ActionList, Drop, Output, SetField
-from ..flow.fields import DEFAULT_SCHEMA, FieldSchema, prefix_mask
+from ..flow.fields import FieldSchema, prefix_mask
 from ..flow.key import FlowKey
 from ..flow.match import TernaryMatch
 from ..flow.packet import Packet

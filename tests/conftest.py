@@ -14,10 +14,8 @@ import pytest
 
 from repro.flow import (
     ActionList,
-    Drop,
     FlowKey,
     Output,
-    SetField,
     TernaryMatch,
     ip,
     prefix_mask,

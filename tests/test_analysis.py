@@ -4,7 +4,6 @@ import pytest
 
 from repro.pipeline import PSC
 from repro.workload import (
-    WorkloadProfile,
     build_workload,
     format_profile,
     profile_workload,

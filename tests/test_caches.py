@@ -132,7 +132,6 @@ class TestMegaflowCache:
     def test_entries_never_overlap(self, mini_pipeline):
         """Dependency masking guarantees at most one entry matches any
         packet — megaflow needs no priorities."""
-        from repro.flow import Drop
 
         mini_pipeline.install(
             2,

@@ -4,9 +4,6 @@ import numpy as np
 import pytest
 
 from repro.workload.classbench import (
-    ClassbenchConfig,
-    ClassbenchGenerator,
-    FIVE_TUPLE_FIELDS,
     PrefixPool,
     generate_ruleset,
     make_prefix_pool,

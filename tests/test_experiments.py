@@ -1,6 +1,5 @@
 """Tests for the per-figure experiment drivers (tiny scale)."""
 
-import pytest
 
 from repro.experiments import (
     ExperimentScale,
@@ -9,7 +8,6 @@ from repro.experiments import (
     core_scaling,
     dynamic_workloads,
     eviction_ablation,
-    fig08_hit_rates,
     fig13_cpu_breakdown,
     hit_latency_table,
     placement_ablation,

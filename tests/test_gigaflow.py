@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.core import GigaflowCache, TAG_DONE, coverage
+from repro.core import GigaflowCache, coverage
 from repro.flow import Output, SetField, ip, prefix_mask
-from repro.pipeline import Disposition, Pipeline, PipelineTable
+from repro.pipeline import Pipeline, PipelineTable
 from conftest import flow, rule
 
 

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core import GigaflowCache
 from repro.flow import (
-    ActionList,
     Controller,
     Drop,
     DEFAULT_SCHEMA,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.flow import Drop, Output, SetField, ip, prefix_mask
+from repro.flow import SetField, ip, prefix_mask
 from repro.io import (
     OfctlParseError,
     format_rule,

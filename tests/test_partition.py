@@ -14,7 +14,7 @@ from repro.core import (
     partitioner_by_name,
     segment_score,
 )
-from repro.flow import Output, ip, prefix_mask
+from repro.flow import Output, ip
 from repro.pipeline import Pipeline, PipelineTable
 from conftest import flow, rule
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.flow import (
-    ActionList,
     Controller,
     Drop,
     Output,

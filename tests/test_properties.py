@@ -1,7 +1,6 @@
 """Property-based tests (hypothesis) for core data structures and invariants."""
 
 import hypothesis.strategies as st
-import pytest
 from hypothesis import given, settings
 
 from repro.classify import PrefixTrie, TupleSpaceClassifier

@@ -1,6 +1,5 @@
 """Tests for chain satisfiability and the sampled coverage estimate."""
 
-import pytest
 
 from repro.core import (
     GigaflowCache,

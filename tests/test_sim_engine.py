@@ -10,7 +10,7 @@ from repro.sim import (
     VSwitchSimulator,
 )
 from repro.sim.results import TimeSeries
-from repro.workload import TraceProfile, build_workload
+from repro.workload import build_workload
 
 N_FLOWS = 300
 
@@ -117,6 +117,30 @@ class TestTimeSeries:
         series.record(25.0, hit=False)
         assert series.hit_rate_between(0, 20) == 1.0
         assert series.hit_rate_between(20, 30) == 0.5
+
+    def test_hit_rate_between_overlap_semantics(self):
+        # Regression: the old implementation required the bucket *start*
+        # to fall inside [start, stop), so a query window contained
+        # entirely within one bucket (e.g. [12, 18) inside [10, 20))
+        # returned 0.0 instead of that bucket's rate.
+        series = TimeSeries(window=10.0)
+        series.record(11.0, hit=True)
+        series.record(12.0, hit=True)
+        series.record(13.0, hit=False)
+        assert series.hit_rate_between(12, 18) == pytest.approx(2 / 3)
+        # A bucket straddling `stop` is counted in full...
+        series.record(21.0, hit=False)
+        assert series.hit_rate_between(15, 22) == pytest.approx(2 / 4)
+        # ...but a bucket starting exactly at `stop` is excluded,
+        # as is one ending exactly at `start`.
+        assert series.hit_rate_between(15, 20) == pytest.approx(2 / 3)
+        assert series.hit_rate_between(20, 25) == pytest.approx(0.0)
+
+    def test_hit_rate_between_degenerate_span(self):
+        series = TimeSeries(window=10.0)
+        series.record(1.0, hit=True)
+        assert series.hit_rate_between(5, 5) == 0.0
+        assert series.hit_rate_between(8, 2) == 0.0
 
     def test_invalid_window(self):
         with pytest.raises(ValueError):

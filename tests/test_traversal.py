@@ -3,7 +3,6 @@
 import pytest
 
 from repro.flow import Output, SetField
-from repro.pipeline import Disposition
 from conftest import flow
 
 
