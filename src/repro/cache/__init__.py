@@ -1,6 +1,16 @@
 """Baseline caches: exact-match Microflow and single-table Megaflow."""
 
 from .base import CacheResult, CacheStats, FlowCache, LruTracker
+from .eviction import (
+    EVICTION_POLICIES,
+    POLICY_NAMES,
+    EvictionPolicy,
+    LruPolicy,
+    SegmentedLruPolicy,
+    SharingAwarePolicy,
+    TwoQPolicy,
+    make_policy,
+)
 from .microflow import MicroflowCache
 from .megaflow import MegaflowCache, MegaflowEntry, build_megaflow_entry
 from .hierarchy import CacheHierarchy
@@ -9,10 +19,18 @@ __all__ = [
     "CacheHierarchy",
     "CacheResult",
     "CacheStats",
+    "EVICTION_POLICIES",
+    "EvictionPolicy",
     "FlowCache",
+    "LruPolicy",
     "LruTracker",
     "MegaflowCache",
     "MegaflowEntry",
     "MicroflowCache",
+    "POLICY_NAMES",
+    "SegmentedLruPolicy",
+    "SharingAwarePolicy",
+    "TwoQPolicy",
     "build_megaflow_entry",
+    "make_policy",
 ]

@@ -151,11 +151,30 @@ class FlowCache(abc.ABC):
 
     @abc.abstractmethod
     def evict_idle(self, now: float, max_idle: float) -> int:
-        """Remove entries idle longer than ``max_idle``; returns count."""
+        """Remove entries idle *strictly* longer than ``max_idle``;
+        returns the number removed.
+
+        Boundary contract (pinned by ``tests/test_eviction_policies.py``):
+        an entry expires only when ``now - last_used > max_idle`` — an
+        entry idle for *exactly* ``max_idle`` survives the sweep.  Every
+        implementation (Microflow, Megaflow, Gigaflow, hierarchy) uses
+        this strict inequality; eviction-policy refactors must not
+        silently flip it to ``>=``.
+        """
 
     @abc.abstractmethod
     def clear(self) -> None:
         """Drop all entries (stats are preserved)."""
+
+    def set_eviction_policy(self, name: str) -> None:
+        """Install the capacity-eviction policy registered under
+        ``name`` (see :mod:`repro.cache.eviction`).  Intended before a
+        run; swapping mid-run re-seeds recency from ``last_used`` but
+        resets policy-internal weights/segments.  Caches without
+        capacity eviction reject the call."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no pluggable eviction policy"
+        )
 
     @property
     def occupancy(self) -> float:
@@ -166,7 +185,12 @@ class FlowCache(abc.ABC):
 
 @dataclass
 class LruTracker:
-    """Tiny helper tracking last-use times for idle/LRU eviction."""
+    """Tiny helper tracking last-use times for idle/LRU eviction.
+
+    Kept for API compatibility and ad-hoc bookkeeping; the caches
+    themselves now route victim selection through the pluggable
+    :class:`~repro.cache.eviction.EvictionPolicy` interface instead.
+    """
 
     last_used: dict = dataclass_field(default_factory=dict)
 

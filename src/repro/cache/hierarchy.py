@@ -57,11 +57,19 @@ class CacheHierarchy(FlowCache):
         megaflow_capacity: int = 32768,
         schema: FieldSchema = DEFAULT_SCHEMA,
         start_table: int = 0,
+        eviction: str = "lru",
     ):
         super().__init__()
-        self.microflow = MicroflowCache(microflow_capacity)
-        self.megaflow = MegaflowCache(megaflow_capacity, schema)
+        self.microflow = MicroflowCache(microflow_capacity, eviction)
+        self.megaflow = MegaflowCache(megaflow_capacity, schema, eviction)
         self.start_table = start_table
+        self.eviction = eviction
+
+    def set_eviction_policy(self, name: str) -> None:
+        """Install the named eviction policy on both levels."""
+        self.microflow.set_eviction_policy(name)
+        self.megaflow.set_eviction_policy(name)
+        self.eviction = name
 
     @property
     def mutation_epoch(self) -> int:

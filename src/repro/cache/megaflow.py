@@ -22,9 +22,9 @@ from .base import (
     CacheResult,
     FlowCache,
     HitReplay,
-    LruTracker,
     actions_result,
 )
+from .eviction import make_policy, reseed_policy
 
 _entry_ids = itertools.count()
 
@@ -110,7 +110,7 @@ class _MegaflowHitReplay(HitReplay):
         entry = self.entry
         entry.last_used = now
         cache = self.cache
-        cache._lru.touch(entry.rule_id, now)
+        cache.policy.on_hit(entry.rule_id, now)
         cache.stats.hits += 1
         return actions_result(
             entry.actions, groups_probed=self.groups_probed, tables_hit=1
@@ -122,9 +122,10 @@ class MegaflowCache(FlowCache):
 
     Attributes:
         capacity: Maximum entries (the paper's baseline uses 32K).
-        eviction: ``"lru"`` evicts the least-recently-used entry when full
-            (OVS revalidator behaviour under pressure); ``"reject"`` refuses
-            the install instead.
+        eviction: A policy name from :mod:`repro.cache.eviction`
+            (``"lru"``, ``"slru"``, ``"2q"``, ``"sharing"``) — a full
+            cache evicts that policy's victim (OVS revalidator behaviour
+            under pressure); ``"reject"`` refuses the install instead.
     """
 
     name = "megaflow"
@@ -138,16 +139,28 @@ class MegaflowCache(FlowCache):
         super().__init__()
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
-        if eviction not in ("lru", "reject"):
-            raise ValueError(f"unknown eviction policy {eviction!r}")
         self.capacity = capacity
         self.eviction = eviction
+        self.policy = make_policy(
+            "lru" if eviction == "reject" else eviction, capacity
+        )
         self.schema = schema
         self._classifier: TupleSpaceClassifier[MegaflowEntry] = (
             TupleSpaceClassifier(schema)
         )
         self._by_match: dict = {}
-        self._lru = LruTracker()
+        self._by_id: dict = {}
+
+    def set_eviction_policy(self, name: str) -> None:
+        policy = make_policy(
+            "lru" if name == "reject" else name, self.capacity
+        )
+        self.policy = reseed_policy(
+            policy,
+            ((entry.rule_id, entry.last_used)
+             for entry in self._by_match.values()),
+        )
+        self.eviction = name
 
     # -- FlowCache interface ------------------------------------------------------
 
@@ -166,7 +179,7 @@ class MegaflowCache(FlowCache):
             )
         entry = result.rule
         entry.last_used = now
-        self._lru.touch(entry.rule_id, now)
+        self.policy.on_hit(entry.rule_id, now)
         self.stats.hits += 1
         hit = actions_result(
             entry.actions, groups_probed=result.groups_probed, tables_hit=1
@@ -181,25 +194,31 @@ class MegaflowCache(FlowCache):
             existing.last_used = now
             existing.actions = entry.actions
             existing.generation = entry.generation
-            self._lru.touch(existing.rule_id, now)
+            self.policy.on_hit(existing.rule_id, now)
+            self.policy.on_share(existing.rule_id)
             self.bump_epoch()
             return True
         if len(self._by_match) >= self.capacity:
             if self.eviction == "reject":
                 self.stats.rejected += 1
                 return False
-            victim_id = self._lru.lru_key()
+            victim_id = self.policy.victim()
             if victim_id is None:
                 self.stats.rejected += 1
                 return False
-            victim = next(
-                e for e in self._by_match.values() if e.rule_id == victim_id
-            )
-            self.remove(victim, reason="lru")
+            victim = self._by_id[victim_id]
+            tel = self.telemetry
+            if tel is not None:
+                tel.on_victim(
+                    self.telemetry_name, self.policy.name,
+                    now - victim.last_used,
+                )
+            self.remove(victim, reason=self.policy.name)
         entry.last_used = now
         self._classifier.insert(entry)
         self._by_match[entry.match] = entry
-        self._lru.touch(entry.rule_id, now)
+        self._by_id[entry.rule_id] = entry
+        self.policy.on_insert(entry.rule_id, now)
         self.stats.insertions += 1
         self.bump_epoch()
         return True
@@ -218,7 +237,8 @@ class MegaflowCache(FlowCache):
     def remove(self, entry: MegaflowEntry, reason: str = "evict") -> None:
         self._classifier.remove(entry)
         del self._by_match[entry.match]
-        self._lru.forget(entry.rule_id)
+        del self._by_id[entry.rule_id]
+        self.policy.on_remove(entry.rule_id)
         self.stats.evictions += 1
         self.bump_epoch()
         tel = self.telemetry
@@ -232,6 +252,9 @@ class MegaflowCache(FlowCache):
         return self.capacity
 
     def evict_idle(self, now: float, max_idle: float) -> int:
+        """Remove entries idle *strictly* longer than ``max_idle``
+        (``now - last_used > max_idle``); an entry idle for exactly
+        ``max_idle`` survives.  Returns the number removed."""
         stale = [
             entry
             for entry in self._by_match.values()
@@ -245,7 +268,8 @@ class MegaflowCache(FlowCache):
         dropped = len(self._by_match)
         self._classifier.clear()
         self._by_match.clear()
-        self._lru.clear()
+        self._by_id.clear()
+        self.policy.clear()
         self.bump_epoch()
         tel = self.telemetry
         if tel is not None and dropped:

@@ -7,16 +7,16 @@ evaluation compares Megaflow vs. Gigaflow.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..flow.actions import ActionList
 from ..flow.key import FlowKey
 from .base import CacheResult, FlowCache, HitReplay, actions_result
+from .eviction import make_policy, reseed_policy
 
 
 class _MicroflowHitReplay(HitReplay):
-    """Memoized Microflow hit: the exact-match entry and its LRU key."""
+    """Memoized Microflow hit: the exact-match entry and its policy key."""
 
     __slots__ = ("cache", "key", "entry")
 
@@ -27,7 +27,7 @@ class _MicroflowHitReplay(HitReplay):
 
     def replay(self, now: float) -> CacheResult:
         cache = self.cache
-        cache._entries.move_to_end(self.key)
+        cache.policy.on_hit(self.key, now)
         self.entry.last_used = now
         cache.stats.hits += 1
         return actions_result(
@@ -36,16 +36,31 @@ class _MicroflowHitReplay(HitReplay):
 
 
 class MicroflowCache(FlowCache):
-    """An exact-match LRU cache from flow signature to actions."""
+    """An exact-match cache from flow signature to actions.
+
+    ``eviction`` names the capacity-eviction policy (see
+    :mod:`repro.cache.eviction`); the default ``"lru"`` reproduces the
+    original hard-coded LRU behaviour exactly.
+    """
 
     name = "microflow"
 
-    def __init__(self, capacity: int = 8192):
+    def __init__(self, capacity: int = 8192, eviction: str = "lru"):
         super().__init__()
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self._entries: "OrderedDict[Tuple[int, ...], _Entry]" = OrderedDict()
+        self._entries: Dict[Tuple[int, ...], _Entry] = {}
+        self.eviction = eviction
+        self.policy = make_policy(eviction, capacity)
+
+    def set_eviction_policy(self, name: str) -> None:
+        self.policy = reseed_policy(
+            make_policy(name, self.capacity),
+            ((key, entry.last_used)
+             for key, entry in self._entries.items()),
+        )
+        self.eviction = name
 
     # -- FlowCache interface -------------------------------------------------
 
@@ -60,28 +75,38 @@ class MicroflowCache(FlowCache):
         if entry is None:
             self.stats.misses += 1
             return CacheResult(hit=False, groups_probed=1), None
-        self._entries.move_to_end(key)
+        self.policy.on_hit(key, now)
         entry.last_used = now
         self.stats.hits += 1
         hit = actions_result(entry.actions, groups_probed=1, tables_hit=1)
         return hit, _MicroflowHitReplay(self, key, entry)
 
     def install(self, flow: FlowKey, actions: ActionList, now: float = 0.0) -> bool:
-        """Insert (or refresh) an exact-match entry, evicting LRU if full."""
+        """Insert (or refresh) an exact-match entry, evicting a policy
+        victim when full."""
         key = flow.values
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self._entries[key].actions = actions
-            self._entries[key].last_used = now
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.policy.on_hit(key, now)
+            self.policy.on_share(key)
+            entry.actions = actions
+            entry.last_used = now
             self.bump_epoch()
             return True
         if len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
+            victim_key = self.policy.victim()
+            victim = self._entries.pop(victim_key)
+            self.policy.on_remove(victim_key)
             self.stats.evictions += 1
             tel = self.telemetry
             if tel is not None:
-                tel.on_evict(self.telemetry_name, "lru")
+                tel.on_evict(self.telemetry_name, self.policy.name)
+                tel.on_victim(
+                    self.telemetry_name, self.policy.name,
+                    now - victim.last_used,
+                )
         self._entries[key] = _Entry(actions, now)
+        self.policy.on_insert(key, now)
         self.stats.insertions += 1
         self.bump_epoch()
         return True
@@ -93,6 +118,9 @@ class MicroflowCache(FlowCache):
         return self.capacity
 
     def evict_idle(self, now: float, max_idle: float) -> int:
+        """Remove entries idle *strictly* longer than ``max_idle``
+        (``now - last_used > max_idle``); an entry idle for exactly
+        ``max_idle`` survives.  Returns the number removed."""
         stale = [
             key
             for key, entry in self._entries.items()
@@ -100,6 +128,7 @@ class MicroflowCache(FlowCache):
         ]
         for key in stale:
             del self._entries[key]
+            self.policy.on_remove(key)
         self.stats.evictions += len(stale)
         if stale:
             self.bump_epoch()
@@ -111,6 +140,7 @@ class MicroflowCache(FlowCache):
     def clear(self) -> None:
         dropped = len(self._entries)
         self._entries.clear()
+        self.policy.clear()
         self.bump_epoch()
         tel = self.telemetry
         if tel is not None and dropped:

@@ -14,7 +14,9 @@ bench
     Fast-path benchmark: replay one pipebench trace with the exact-match
     fast path on and off, write ``BENCH_fastpath.json``; then measure the
     telemetry overhead (off / metrics / metrics+trace) into
-    ``BENCH_obs.json``.  ``--smoke`` shrinks it for CI.
+    ``BENCH_obs.json``.  ``--evictions`` adds an A/B phase comparing
+    every eviction policy under capacity pressure
+    (``BENCH_evictions.json``).  ``--smoke`` shrinks it all for CI.
 stats
     Run one simulation with full telemetry attached and export the
     metrics (Prometheus text, JSON, or a rendered table); ``--trace-out``
@@ -40,6 +42,12 @@ from .experiments import (
     table2_coverage,
 )
 from .pipeline.library import PIPELINES
+
+
+def _policy_names():
+    from .cache.eviction import POLICY_NAMES
+
+    return POLICY_NAMES
 
 
 def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
@@ -109,7 +117,7 @@ def cmd_coverage(args: argparse.Namespace) -> int:
     return 0
 
 
-def _make_system(name: str, capacity: int):
+def _make_system(name: str, capacity: int, eviction: str = "lru"):
     from .sim import (
         AdaptiveGigaflowSystem,
         GigaflowSystem,
@@ -118,18 +126,21 @@ def _make_system(name: str, capacity: int):
     )
 
     if name == "megaflow":
-        return MegaflowSystem(capacity=capacity)
+        return MegaflowSystem(capacity=capacity, eviction=eviction)
     if name == "hierarchy":
         return HierarchySystem(
             microflow_capacity=max(capacity // 4, 2),
             megaflow_capacity=capacity,
+            eviction=eviction,
         )
     if name == "adaptive":
         return AdaptiveGigaflowSystem(
-            num_tables=4, table_capacity=max(capacity // 4, 2)
+            num_tables=4, table_capacity=max(capacity // 4, 2),
+            eviction=eviction,
         )
     return GigaflowSystem(
-        num_tables=4, table_capacity=max(capacity // 4, 2)
+        num_tables=4, table_capacity=max(capacity // 4, 2),
+        eviction=eviction,
     )
 
 
@@ -222,7 +233,107 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(f"wrote {args.output}")
 
     _bench_obs(args, spec)
+    if args.evictions:
+        _bench_evictions(args, spec)
     return 0
+
+
+def _bench_evictions(args: argparse.Namespace, spec) -> None:
+    """A/B the pluggable eviction policies under capacity pressure.
+
+    Every policy replays the identical trace against the same
+    undersized cache (half the flow count, idle expiry off) so capacity
+    eviction — not idle timeout — decides what survives.  Telemetry is
+    attached for the per-policy victim-age distribution
+    (``repro_eviction_victim_age_seconds``); hit rate and occupancy
+    come from the :class:`SimResult`.
+    """
+    from .cache.eviction import POLICY_NAMES
+    from .obs import Telemetry
+    from .sim import SimConfig, VSwitchSimulator
+    from .workload import TraceProfile, build_workload
+
+    profile = TraceProfile(
+        mean_flow_size=args.mean_flow_size, duration=args.duration
+    )
+    capacity = max(args.flows // 2, 8)
+    report = {
+        "pipeline": spec.name,
+        "locality": args.locality,
+        "flows": args.flows,
+        "capacity": capacity,
+        "mean_flow_size": args.mean_flow_size,
+        "duration": args.duration,
+        "seed": args.seed,
+        "policies": list(POLICY_NAMES),
+        "systems": {},
+    }
+    for sysname in ("megaflow", "gigaflow"):
+        rows = {}
+        for policy in POLICY_NAMES:
+            workload = build_workload(
+                spec, n_flows=args.flows, locality=args.locality,
+                seed=args.seed,
+            )
+            trace = workload.trace(profile=profile, seed=args.trace_seed)
+            telemetry = Telemetry(tracing=False)
+            config = SimConfig(
+                fast_path=True, telemetry=telemetry, eviction=policy
+            )
+            simulator = VSwitchSimulator(
+                workload.pipeline, _make_system(sysname, capacity), config
+            )
+            start = time.perf_counter()
+            result = simulator.run(trace)
+            elapsed = time.perf_counter() - start
+
+            # Victim-age distribution: this run owns the Telemetry hub,
+            # so every histogram child belongs to this (system, policy).
+            family = telemetry.registry.get(
+                "repro_eviction_victim_age_seconds"
+            )
+            age_count, age_sum = 0, 0.0
+            buckets = None
+            for _labels, child in family.children():
+                age_count += child.count
+                age_sum += child.sum
+                if buckets is None:
+                    buckets = [0] * len(child.counts)
+                for i, n in enumerate(child.counts):
+                    buckets[i] += n
+            bounds = [f"le_{b:g}" for b in family.buckets] + ["le_inf"]
+            stats = result.stats
+            rows[policy] = {
+                "seconds": round(elapsed, 3),
+                "packets_per_sec": round(result.packets / elapsed, 1),
+                "hit_rate": round(result.hit_rate, 6),
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "peak_entries": result.peak_entries,
+                "entry_count": result.entry_count,
+                "occupancy": round(
+                    result.entry_count / result.capacity, 4
+                ) if result.capacity else 0.0,
+                "victim_age": {
+                    "count": age_count,
+                    "mean": round(age_sum / age_count, 6)
+                    if age_count else 0.0,
+                    "buckets": dict(zip(bounds, buckets or [])),
+                },
+            }
+            print(f"{sysname:9} {policy:8} hit_rate="
+                  f"{rows[policy]['hit_rate']:.4f}  "
+                  f"evictions={stats.evictions:>6}  "
+                  f"victim_age_mean={rows[policy]['victim_age']['mean']:.3f}s")
+        best = max(rows, key=lambda p: rows[p]["hit_rate"])
+        report["systems"][sysname] = {"policies": rows, "best": best}
+        print(f"{sysname} best policy: {best} "
+              f"(hit_rate={rows[best]['hit_rate']:.4f})")
+
+    with open(args.evictions_output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.evictions_output}")
 
 
 def _bench_obs(args: argparse.Namespace, spec) -> None:
@@ -317,7 +428,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
     spec = get_pipeline_spec(args.pipeline.upper())
     capacity = args.capacity or max(args.flows * 2, 8)
-    system = _make_system(args.system, capacity)
+    system = _make_system(args.system, capacity, args.eviction)
     telemetry = Telemetry(
         trace_capacity=args.trace_capacity,
         tracing=args.format == "text" or args.trace_out is not None,
@@ -451,6 +562,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true",
         help="CI-sized run (<=300 flows, <=8s trace)",
     )
+    bench.add_argument(
+        "--evictions", action="store_true",
+        help="also A/B the eviction policies under capacity pressure",
+    )
+    bench.add_argument(
+        "--evictions-output", default="BENCH_evictions.json",
+        help="where to write the eviction-policy comparison",
+    )
 
     stats = sub.add_parser(
         "stats",
@@ -475,6 +594,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument(
         "--locality", choices=("high", "low"), default="high",
+    )
+    stats.add_argument(
+        "--eviction", choices=_policy_names(), default="lru",
+        help="capacity-eviction policy (default lru)",
     )
     stats.add_argument(
         "--mean-flow-size", type=float, default=64.0,

@@ -18,12 +18,13 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..cache.base import CacheResult, FlowCache, HitReplay
+from ..cache.eviction import make_policy
 from ..flow.actions import Action, ActionList
 from ..flow.fields import DEFAULT_SCHEMA, FieldSchema
 from ..flow.key import FlowKey
 from ..pipeline.traversal import Traversal
 from .ltm import TAG_DONE, LtmRule, LtmTable
-from .partition import Partition, Partitioner, disjoint_partition
+from .partition import Partitioner, disjoint_partition
 from .rulegen import build_ltm_rules
 
 
@@ -88,10 +89,12 @@ class GigaflowCache(FlowCache):
         placement: ``"balanced"`` places new rules in the feasible table
             with the most free slots; ``"earliest"`` packs tables front to
             back.
-        eviction: ``"lru"`` evicts the least-recently-used rule from a
-            feasible table when every feasible table is full (mirroring the
-            OVS revalidator's behaviour under pressure); ``"reject"``
-            refuses the install instead (the paper's ``GF_k not full``
+        eviction: A policy name from :mod:`repro.cache.eviction`
+            (``"lru"``, ``"slru"``, ``"2q"``, ``"sharing"``) — when every
+            feasible table is full, the policy's per-table victim with
+            the oldest ``last_used`` is evicted (mirroring the OVS
+            revalidator's behaviour under pressure); ``"reject"`` refuses
+            the install instead (the paper's ``GF_k not full``
             formulation relies on idle expiry alone).
     """
 
@@ -112,18 +115,25 @@ class GigaflowCache(FlowCache):
             raise ValueError(f"need at least one table, got {num_tables}")
         if placement not in ("balanced", "earliest"):
             raise ValueError(f"unknown placement policy {placement!r}")
-        if eviction not in ("lru", "reject"):
-            raise ValueError(f"unknown eviction policy {eviction!r}")
+        table_policy = "lru" if eviction == "reject" else eviction
+        make_policy(table_policy, 1)  # validate the name eagerly
         self.schema = schema
         self.start_tag = start_tag
         self.partitioner = partitioner
         self.placement = placement
         self.eviction = eviction
         self.tables: Tuple[LtmTable, ...] = tuple(
-            LtmTable(i, table_capacity, schema) for i in range(num_tables)
+            LtmTable(i, table_capacity, schema, eviction=table_policy)
+            for i in range(num_tables)
         )
         #: Cumulative sharing events (a rule reused by another traversal).
         self.sharing_events = 0
+
+    def set_eviction_policy(self, name: str) -> None:
+        table_policy = "lru" if name == "reject" else name
+        for table in self.tables:
+            table.set_eviction_policy(table_policy)
+        self.eviction = name
 
     # -- lookup (the SmartNIC fast path) -----------------------------------------
 
@@ -242,13 +252,7 @@ class GigaflowCache(FlowCache):
             table = self.tables[index]
             existing = table.find_identical(identity)
             if existing is not None:
-                existing.install_count += 1
-                table.touch(
-                    existing, max(existing.last_used, rule.last_used)
-                )
-                existing.generation = max(
-                    existing.generation, rule.generation
-                )
+                table.share(existing, rule)
                 return index
         return None
 
@@ -259,9 +263,9 @@ class GigaflowCache(FlowCache):
             index for index in window if not self.tables[index].is_full
         ]
         if not candidates:
-            if self.eviction != "lru":
+            if self.eviction == "reject":
                 return None
-            index = self._evict_for(window)
+            index = self._evict_for(window, rule.last_used)
             if index is None:
                 return None
             candidates = [index]
@@ -273,9 +277,10 @@ class GigaflowCache(FlowCache):
         assert inserted, "candidate table was checked for space"
         return index
 
-    def _evict_for(self, window: range) -> Optional[int]:
-        """Free one slot by evicting the LRU rule among the feasible
-        tables; returns the table index with the freed slot."""
+    def _evict_for(self, window: range, now: float) -> Optional[int]:
+        """Free one slot by evicting among the feasible tables' policy
+        victim candidates the one with the oldest ``last_used``; returns
+        the table index with the freed slot."""
         victim = None
         victim_table = None
         for index in window:
@@ -287,11 +292,16 @@ class GigaflowCache(FlowCache):
                 victim_table = index
         if victim is None:
             return None
-        self.tables[victim_table].remove(victim)
-        self.stats.evictions += 1
+        policy_name = self.tables[victim_table].policy.name
         tel = self.telemetry
         if tel is not None:
-            tel.on_evict(self.telemetry_name, "lru")
+            tel.on_victim(
+                self.telemetry_name, policy_name, now - victim.last_used
+            )
+        self.tables[victim_table].remove(victim)
+        self.stats.evictions += 1
+        if tel is not None:
+            tel.on_evict(self.telemetry_name, policy_name)
         return victim_table
 
     # -- FlowCache bookkeeping ----------------------------------------------------------
@@ -303,6 +313,11 @@ class GigaflowCache(FlowCache):
         return sum(t.capacity for t in self.tables)
 
     def evict_idle(self, now: float, max_idle: float) -> int:
+        """Remove rules idle *strictly* longer than ``max_idle``
+        (``now - last_used > max_idle``); a rule idle for exactly
+        ``max_idle`` survives — the same boundary contract as
+        :meth:`repro.cache.base.FlowCache.evict_idle`.  Returns the
+        number removed across all tables."""
         evicted = 0
         for table in self.tables:
             stale = [

@@ -11,9 +11,9 @@ table, and forward/drop when the sub-traversal ends the pipeline.
 from __future__ import annotations
 
 import itertools
-from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..cache.eviction import make_policy, reseed_policy
 from ..classify.tss import TupleSpaceClassifier
 from ..flow.actions import ActionList
 from ..flow.fields import DEFAULT_SCHEMA, FieldSchema
@@ -113,6 +113,7 @@ class LtmTable:
         index: int,
         capacity: int = 8192,
         schema: FieldSchema = DEFAULT_SCHEMA,
+        eviction: str = "lru",
     ):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -124,10 +125,20 @@ class LtmTable:
         self._observer = None
         self._by_tag: Dict[int, TupleSpaceClassifier[LtmRule]] = {}
         self._by_identity: Dict[Tuple, LtmRule] = {}
-        #: Recency list: least-recently-touched rule first.  All
-        #: ``last_used`` updates must go through :meth:`touch` (or the
-        #: insert refresh path) so the order tracks use time.
-        self._recency: "OrderedDict[int, LtmRule]" = OrderedDict()
+        self._by_id: Dict[int, LtmRule] = {}
+        #: Victim-selection state (see :mod:`repro.cache.eviction`).
+        #: All ``last_used`` updates must go through :meth:`touch` (or
+        #: :meth:`share`) so the policy's view tracks use time.
+        self.policy = make_policy(eviction, capacity)
+
+    def set_eviction_policy(self, name: str) -> None:
+        """Swap the victim-selection policy, re-seeding resident rules
+        in recency order (weights/segments reset — intended pre-run)."""
+        self.policy = reseed_policy(
+            make_policy(name, self.capacity),
+            ((rule.rule_id, rule.last_used)
+             for rule in self._by_id.values()),
+        )
 
     # -- capacity ------------------------------------------------------------------
 
@@ -153,11 +164,7 @@ class LtmTable:
         identity = rule.identity()
         existing = self._by_identity.get(identity)
         if existing is not None:
-            existing.install_count += 1
-            self.touch(
-                existing, max(existing.last_used, rule.last_used)
-            )
-            existing.generation = max(existing.generation, rule.generation)
+            self.share(existing, rule)
             return True
         if self.is_full:
             return False
@@ -168,14 +175,25 @@ class LtmTable:
             self._by_tag[rule.tag] = bucket
         bucket.insert(rule)
         self._by_identity[identity] = rule
-        self._recency[rule.rule_id] = rule
+        self._by_id[rule.rule_id] = rule
+        self.policy.on_insert(rule.rule_id, rule.last_used)
         return True
 
     def touch(self, rule: LtmRule, now: float) -> None:
-        """Mark a rule used at ``now``; keeps the recency list ordered.
-        Use times must be nondecreasing (the simulator's clock is)."""
+        """Mark a rule used at ``now``; keeps the policy's recency view
+        ordered.  Use times must be nondecreasing (the simulator's
+        clock is)."""
         rule.last_used = now
-        self._recency.move_to_end(rule.rule_id)
+        self.policy.on_hit(rule.rule_id, now)
+
+    def share(self, rule: LtmRule, incoming: LtmRule) -> None:
+        """Record that ``incoming`` (a fresh identical rule from another
+        traversal) reuses the installed ``rule`` — the Fig. 5c sharing
+        event sharing-aware policies weight victims by."""
+        rule.install_count += 1
+        self.touch(rule, max(rule.last_used, incoming.last_used))
+        rule.generation = max(rule.generation, incoming.generation)
+        self.policy.on_share(rule.rule_id)
 
     def remove(self, rule: LtmRule) -> None:
         identity = rule.identity()
@@ -186,12 +204,14 @@ class LtmTable:
         if not len(bucket):
             del self._by_tag[rule.tag]
         del self._by_identity[identity]
-        self._recency.pop(rule.rule_id, None)
+        del self._by_id[rule.rule_id]
+        self.policy.on_remove(rule.rule_id)
 
     def clear(self) -> None:
         self._by_tag.clear()
         self._by_identity.clear()
-        self._recency.clear()
+        self._by_id.clear()
+        self.policy.clear()
 
     def __iter__(self) -> Iterator[LtmRule]:
         return iter(self._by_identity.values())
@@ -212,11 +232,14 @@ class LtmTable:
         return result.rule, result.groups_probed
 
     def lru_rule(self) -> Optional[LtmRule]:
-        """The least-recently-used rule (eviction victim candidate) —
-        O(1) off the head of the recency list."""
-        for rule in self._recency.values():
-            return rule
-        return None
+        """The installed policy's eviction-victim candidate — under the
+        default plain-LRU policy, the least-recently-used rule, O(1) off
+        the head of the recency list.  (The name predates pluggable
+        policies; it is the victim peek for every policy.)"""
+        victim_id = self.policy.victim()
+        if victim_id is None:
+            return None
+        return self._by_id[victim_id]
 
     # -- observability ------------------------------------------------------------------
 

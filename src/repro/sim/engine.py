@@ -102,9 +102,11 @@ class HierarchySystem(CachingSystem):
         megaflow_capacity: int = 32768,
         schema: FieldSchema = DEFAULT_SCHEMA,
         start_table: int = 0,
+        eviction: str = "lru",
     ):
         self.cache = CacheHierarchy(
-            microflow_capacity, megaflow_capacity, schema, start_table
+            microflow_capacity, megaflow_capacity, schema, start_table,
+            eviction,
         )
 
     def install(
@@ -219,6 +221,13 @@ class SimConfig:
             on the sweep cadence, and threads a summary into
             :attr:`SimResult.telemetry`.  Observation-only: every other
             ``SimResult`` field is bit-identical with it on or off.
+        eviction: Optional capacity-eviction policy name
+            (:data:`~repro.cache.eviction.POLICY_NAMES`: ``"lru"``,
+            ``"slru"``, ``"2q"``, ``"sharing"``).  When set, the engine
+            installs it on the caching system's cache (and sub-caches /
+            LTM tables) before the first packet — the per-run A/B knob
+            the eviction bench sweeps.  ``None`` keeps whatever policy
+            the cache was built with (the ``"lru"`` default).
     """
 
     max_idle: float = 0.0
@@ -227,6 +236,7 @@ class SimConfig:
     latency: LatencyModel = field(default_factory=LatencyModel)
     fast_path: bool = True
     telemetry: Optional[Telemetry] = None
+    eviction: Optional[str] = None
 
 
 class VSwitchSimulator:
@@ -267,6 +277,8 @@ class VSwitchSimulator:
         sweep_interval = config.sweep_interval
         hit_us = config.latency.hit_us
         next_sweep = sweep_interval
+        if config.eviction is not None:
+            cache.set_eviction_policy(config.eviction)
         tel = config.telemetry
         if tel is not None:
             tel.attach(cache, system.name)

@@ -1,0 +1,252 @@
+"""Property-based tests for the pluggable eviction policies.
+
+Fuzzes random operation sequences against every registered policy and
+against policy-driven caches, checking the structural invariants the
+:class:`~repro.cache.eviction.EvictionPolicy` contract promises:
+
+* the policy tracks exactly the resident key set (``len``/``in``);
+* ``victim()`` always names a resident key (``None`` iff empty);
+* plain LRU never evicts the entry that was just hit;
+* cache ``CacheStats`` reconcile with occupancy after arbitrary
+  install/lookup/sweep interleavings, for every policy.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.cache import MegaflowCache, MegaflowEntry, MicroflowCache
+from repro.cache.eviction import POLICY_NAMES, make_policy
+from repro.flow import ActionList, Output, TernaryMatch
+from conftest import flow
+
+KEYS = st.integers(0, 11)
+POLICY_OPS = st.lists(
+    st.tuples(st.sampled_from(("insert", "hit", "share", "evict")), KEYS),
+    max_size=150,
+)
+CACHE_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(("install", "lookup", "sweep")), st.integers(0, 9)
+    ),
+    max_size=80,
+)
+ANY_POLICY = st.sampled_from(POLICY_NAMES)
+
+
+def drive(policy, ops):
+    """Replay an op sequence, checking bookkeeping invariants after
+    every step; returns the resident key set."""
+    resident = set()
+    now = 0.0
+    for op, key in ops:
+        now += 1.0
+        if op == "insert":
+            if key in resident:
+                # Caches map an install of a resident key to a refresh.
+                policy.on_hit(key, now)
+            else:
+                policy.on_insert(key, now)
+                resident.add(key)
+        elif op == "hit":
+            if key in resident:
+                policy.on_hit(key, now)
+        elif op == "share":
+            if key in resident:
+                policy.on_share(key)
+        else:  # evict
+            victim = policy.victim()
+            assert (victim is None) == (not resident)
+            if victim is not None:
+                assert victim in resident
+                policy.on_remove(victim)
+                resident.discard(victim)
+        assert len(policy) == len(resident)
+        assert all(key in policy for key in resident)
+    return resident
+
+
+class TestPolicyBookkeeping:
+    @settings(max_examples=60, deadline=None)
+    @given(name=ANY_POLICY, ops=POLICY_OPS)
+    def test_residency_and_victims_consistent(self, name, ops):
+        drive(make_policy(name, capacity=8), ops)
+
+    @settings(max_examples=40, deadline=None)
+    @given(name=ANY_POLICY, ops=POLICY_OPS, key=KEYS)
+    def test_remove_of_any_resident_key(self, name, ops, key):
+        policy = make_policy(name, capacity=8)
+        resident = drive(policy, ops)
+        if key not in resident:
+            policy.on_insert(key, 1e6)
+            resident.add(key)
+        policy.on_remove(key)
+        resident.discard(key)
+        assert key not in policy
+        assert len(policy) == len(resident)
+
+    @settings(max_examples=40, deadline=None)
+    @given(name=ANY_POLICY, ops=POLICY_OPS)
+    def test_clear_empties(self, name, ops):
+        policy = make_policy(name, capacity=8)
+        drive(policy, ops)
+        policy.clear()
+        assert len(policy) == 0
+        assert policy.victim() is None
+        # A cleared policy accepts fresh inserts again.
+        policy.on_insert("fresh", 0.0)
+        assert policy.victim() == "fresh"
+
+
+class TestLruExactness:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=POLICY_OPS)
+    def test_lru_victim_is_least_recently_touched(self, ops):
+        """Plain LRU tracked against a reference recency list."""
+        policy = make_policy("lru", capacity=8)
+        order = []  # LRU at the front, MRU at the back
+        now = 0.0
+        for op, key in ops:
+            now += 1.0
+            if op == "insert":
+                if key in order:
+                    order.remove(key)
+                order.append(key)
+                if key in policy:
+                    policy.on_hit(key, now)
+                else:
+                    policy.on_insert(key, now)
+            elif op in ("hit", "share"):
+                if key in order:
+                    if op == "hit":
+                        order.remove(key)
+                        order.append(key)
+                        policy.on_hit(key, now)
+                    else:
+                        policy.on_share(key)  # no-op for LRU
+            else:
+                victim = policy.victim()
+                assert victim == (order[0] if order else None)
+                if victim is not None:
+                    policy.on_remove(victim)
+                    order.remove(victim)
+            assert policy.victim() == (order[0] if order else None)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=POLICY_OPS, key=KEYS)
+    def test_lru_never_evicts_just_hit_entry(self, ops, key):
+        policy = make_policy("lru", capacity=8)
+        resident = drive(policy, ops)
+        if key in resident:
+            policy.on_hit(key, 1e6)
+        else:
+            policy.on_insert(key, 1e6)
+        if len(policy) >= 2:
+            assert policy.victim() != key
+        else:
+            assert policy.victim() == key
+
+
+def _mega_entry(idx, now):
+    return MegaflowEntry(
+        match=TernaryMatch.from_fields({"tp_dst": 2000 + idx}),
+        actions=ActionList([Output(1)]),
+        parent_flow=flow(tp_dst=2000 + idx),
+        start_table=0,
+        length=1,
+        now=now,
+    )
+
+
+class TestCacheStatsReconcile:
+    """``insertions - evictions == entry_count`` must survive arbitrary
+    interleavings of installs, lookups and idle sweeps, under every
+    policy, and occupancy must never exceed capacity."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(name=ANY_POLICY, capacity=st.integers(1, 6), ops=CACHE_OPS)
+    def test_microflow(self, name, capacity, ops):
+        cache = MicroflowCache(capacity=capacity, eviction=name)
+        actions = ActionList([Output(1)])
+        now = 0.0
+        for op, idx in ops:
+            now += 0.5
+            if op == "install":
+                cache.install(flow(tp_src=1000 + idx), actions, now=now)
+            elif op == "lookup":
+                cache.lookup(flow(tp_src=1000 + idx), now=now)
+            else:
+                cache.evict_idle(now=now, max_idle=2.0)
+            stats = cache.stats
+            assert cache.entry_count() <= capacity
+            assert (
+                stats.insertions - stats.evictions == cache.entry_count()
+            )
+            assert len(cache.policy) == cache.entry_count()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        name=st.sampled_from(POLICY_NAMES + ("reject",)),
+        capacity=st.integers(1, 6),
+        ops=CACHE_OPS,
+    )
+    def test_megaflow(self, name, capacity, ops):
+        cache = MegaflowCache(capacity=capacity, eviction=name)
+        now = 0.0
+        for op, idx in ops:
+            now += 0.5
+            if op == "install":
+                cache.install(_mega_entry(idx, now), now=now)
+            elif op == "lookup":
+                cache.lookup(flow(tp_dst=2000 + idx), now=now)
+            else:
+                cache.evict_idle(now=now, max_idle=2.0)
+            stats = cache.stats
+            assert cache.entry_count() <= capacity
+            assert (
+                stats.insertions - stats.evictions == cache.entry_count()
+            )
+            assert len(cache.policy) == cache.entry_count()
+        if name != "reject":
+            assert cache.stats.rejected == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        first=ANY_POLICY,
+        second=ANY_POLICY,
+        capacity=st.integers(1, 6),
+        ops=CACHE_OPS,
+        more=CACHE_OPS,
+    )
+    def test_microflow_policy_swap_midstream(
+        self, first, second, capacity, ops, more
+    ):
+        """Swapping policies re-seeds residency exactly; the invariants
+        keep holding for the continuation."""
+        cache = MicroflowCache(capacity=capacity, eviction=first)
+        actions = ActionList([Output(1)])
+        now = 0.0
+        for op, idx in ops:
+            now += 0.5
+            if op == "install":
+                cache.install(flow(tp_src=1000 + idx), actions, now=now)
+            elif op == "lookup":
+                cache.lookup(flow(tp_src=1000 + idx), now=now)
+            else:
+                cache.evict_idle(now=now, max_idle=2.0)
+        cache.set_eviction_policy(second)
+        assert cache.eviction == second
+        assert len(cache.policy) == cache.entry_count()
+        for op, idx in more:
+            now += 0.5
+            if op == "install":
+                cache.install(flow(tp_src=1000 + idx), actions, now=now)
+            elif op == "lookup":
+                cache.lookup(flow(tp_src=1000 + idx), now=now)
+            else:
+                cache.evict_idle(now=now, max_idle=2.0)
+            stats = cache.stats
+            assert cache.entry_count() <= capacity
+            assert (
+                stats.insertions - stats.evictions == cache.entry_count()
+            )
+            assert len(cache.policy) == cache.entry_count()
