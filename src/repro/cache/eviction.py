@@ -92,6 +92,18 @@ class EvictionPolicy(abc.ABC):
     def on_share(self, key: Hashable, amount: int = 1) -> None:
         """A resident entry was reused across traversals (no-op here)."""
 
+    def decay(self, factor: Optional[float] = None) -> int:
+        """Age accumulated popularity state (no-op for stateless policies).
+
+        Weight-tracking policies scale every entry's weight by
+        ``factor`` (their configured ``decay_factor`` when ``None``) and
+        demote entries whose tier no longer matches; returns the number
+        of entries that changed tier.  The adaptive controller calls
+        this on the sweep cadence so reinforcement earned during an old
+        traffic phase cannot protect entries forever.
+        """
+        return 0
+
     @abc.abstractmethod
     def on_remove(self, key: Hashable) -> None:
         """A resident entry was removed (for any reason)."""
@@ -305,6 +317,13 @@ class SharingAwarePolicy(EvictionPolicy):
     the LRU head of the lowest non-empty band.  A shared sub-traversal
     rule therefore needs the whole band below it to drain before it is
     at risk — the LTM-table analogue of protecting shared prefix nodes.
+
+    Weight is earned forever but loses value over time: :meth:`decay`
+    scales every weight by ``decay_factor`` and demotes entries whose
+    band dropped, so reinforcement earned during a dead traffic phase
+    cannot protect an entry indefinitely (the over-protection noted in
+    ``docs/eviction.md``).  Decay only runs when something calls it —
+    the adaptive controller does so on the sweep cadence.
     """
 
     name = "sharing"
@@ -312,6 +331,7 @@ class SharingAwarePolicy(EvictionPolicy):
     def __init__(
         self, capacity: Optional[int] = None,
         tiers: int = 4, share_credit: int = 2,
+        decay_factor: float = 0.5,
     ):
         if tiers < 2:
             raise ValueError(f"need at least two tiers, got {tiers}")
@@ -319,7 +339,12 @@ class SharingAwarePolicy(EvictionPolicy):
             raise ValueError(
                 f"share_credit must be positive, got {share_credit}"
             )
+        if not 0.0 <= decay_factor < 1.0:
+            raise ValueError(
+                f"decay_factor must be in [0, 1), got {decay_factor}"
+            )
         self.share_credit = share_credit
+        self.decay_factor = decay_factor
         self._tiers: Tuple["OrderedDict[Hashable, None]", ...] = tuple(
             OrderedDict() for _ in range(tiers)
         )
@@ -351,6 +376,35 @@ class SharingAwarePolicy(EvictionPolicy):
             self._tier_of[key] = level
         else:
             self._tiers[current].move_to_end(key)
+
+    def decay(self, factor: Optional[float] = None) -> int:
+        """Scale every weight by ``factor`` and re-band demoted entries.
+
+        Tiers are rebuilt low band first, preserving in-band recency
+        order; entries demoted from a higher band land *after* the
+        band's existing residents (they were reinforced more recently
+        than anything that never left the band).  Returns the number of
+        entries whose band changed.
+        """
+        factor = self.decay_factor if factor is None else factor
+        if not 0.0 <= factor < 1.0:
+            raise ValueError(f"decay factor must be in [0, 1), got {factor}")
+        moved = 0
+        top = len(self._tiers) - 1
+        rebuilt: Tuple["OrderedDict[Hashable, None]", ...] = tuple(
+            OrderedDict() for _ in self._tiers
+        )
+        for level, tier in enumerate(self._tiers):
+            for key in tier:
+                weight = int(self._weight[key] * factor)
+                self._weight[key] = weight
+                new_level = min(weight.bit_length(), top)
+                if new_level != level:
+                    moved += 1
+                    self._tier_of[key] = new_level
+                rebuilt[new_level][key] = None
+        self._tiers = rebuilt
+        return moved
 
     def on_remove(self, key: Hashable) -> None:
         level = self._tier_of.pop(key)

@@ -235,7 +235,141 @@ def cmd_bench(args: argparse.Namespace) -> int:
     _bench_obs(args, spec)
     if args.evictions:
         _bench_evictions(args, spec)
+    if args.adaptive:
+        _bench_adaptive(args, spec)
     return 0
+
+
+def _bench_adaptive(args: argparse.Namespace, spec) -> None:
+    """A/B the closed-loop controller against static configurations.
+
+    Every variant replays the same locality-*shifting* trace (a
+    sharing-rich phase, then a sharing-poor flood at half time — see
+    :func:`~repro.workload.pipebench.build_locality_shift_trace`)
+    against the same undersized capacity.  Static Gigaflow keeps
+    installing K-segment entries into the scattered phase; static
+    Megaflow never exploits the shared phase; the window-heuristic
+    adaptive cache reacts from its install counter alone; the closed
+    loop reads the full telemetry surface.  The report records overall
+    and per-phase hit rates plus the controller's transition log —
+    ``closed_loop_ok`` asserts the loop matched or beat the best static
+    variant.
+    """
+    from .obs import Telemetry
+    from .sim import SimConfig, VSwitchSimulator
+    from .workload import (
+        TraceProfile,
+        build_locality_shift_trace,
+        build_workload,
+    )
+
+    # The regime where the mode decision has real stakes (cf. the
+    # multi-seed replication scale): flows outnumber cache slots two to
+    # one, packets are sparse, and idle expiry is live — so phase 1's
+    # sharing-rich traffic rewards disjoint partitioning while phase 2's
+    # scattered flood rewards Megaflow-style entries.  Duration here is
+    # *virtual* time; the packet count (and wall time) is set by the
+    # flow count, so even --smoke affords the full 60 s shape.
+    flows = max(args.flows, 1200)
+    profile = TraceProfile(
+        mean_flow_size=12.0, duration=60.0, mean_packet_gap=4.0
+    )
+    shift = 30.0
+    max_idle = 20.0
+    capacity = max(flows // 2, 8)
+    sweep_interval = 2.0
+    variants = {
+        "static_gigaflow": ("gigaflow", None),
+        "static_megaflow": ("megaflow", None),
+        "adaptive_window": ("adaptive", None),
+        "closed_loop": ("adaptive", True),
+    }
+    report = {
+        "pipeline": spec.name,
+        "locality": args.locality,
+        "flows": flows,
+        "capacity": capacity,
+        "mean_flow_size": profile.mean_flow_size,
+        "mean_packet_gap": profile.mean_packet_gap,
+        "duration": profile.duration,
+        "shift_at": shift,
+        "max_idle": max_idle,
+        "sweep_interval": sweep_interval,
+        "seed": args.seed,
+        "runs": {},
+    }
+    for name, (sysname, controller) in variants.items():
+        workload = build_workload(
+            spec, n_flows=flows, locality=args.locality,
+            seed=args.seed,
+        )
+        trace = build_locality_shift_trace(
+            workload, profile, shift_at=shift, seed=args.trace_seed
+        )
+        telemetry = Telemetry(tracing=False)
+        config = SimConfig(
+            fast_path=True,
+            telemetry=telemetry,
+            max_idle=max_idle,
+            sweep_interval=sweep_interval,
+            window=sweep_interval,
+            controller=controller,
+        )
+        simulator = VSwitchSimulator(
+            workload.pipeline, _make_system(sysname, capacity), config
+        )
+        start = time.perf_counter()
+        result = simulator.run(trace)
+        elapsed = time.perf_counter() - start
+        run = {
+            "system": sysname,
+            "seconds": round(elapsed, 3),
+            "packets_per_sec": round(result.packets / elapsed, 1),
+            "hit_rate": round(result.hit_rate, 6),
+            "phase1_hit_rate": round(
+                result.series.hit_rate_between(0.0, shift), 6
+            ),
+            "phase2_hit_rate": round(
+                # The trace outlives the profile duration (in-flight
+                # flows keep emitting), so phase 2 runs to the real end.
+                result.series.hit_rate_between(shift, trace.duration), 6
+            ),
+            "insertions": result.stats.insertions,
+            "evictions": result.stats.evictions,
+        }
+        controller_state = simulator.controller
+        if controller_state is not None:
+            summary = controller_state.summary()
+            run["controller"] = {
+                "sweeps": summary["sweeps"],
+                "transitions": summary["transitions"],
+                "by_knob": summary["by_knob"],
+                "state": summary["state"],
+                "log": summary["log"],
+            }
+        report["runs"][name] = run
+        extra = (
+            f"  transitions={run['controller']['transitions']}"
+            if "controller" in run else ""
+        )
+        print(f"{name:16} hit_rate={run['hit_rate']:.4f} "
+              f"(p1={run['phase1_hit_rate']:.4f} "
+              f"p2={run['phase2_hit_rate']:.4f})  "
+              f"evictions={run['evictions']:>6}{extra}")
+    static_best = max(
+        report["runs"][name]["hit_rate"]
+        for name in ("static_gigaflow", "static_megaflow")
+    )
+    closed = report["runs"]["closed_loop"]["hit_rate"]
+    report["static_best_hit_rate"] = static_best
+    report["closed_loop_ok"] = bool(closed >= static_best - 1e-9)
+    print(f"closed loop {closed:.4f} vs static best {static_best:.4f} "
+          f"-> {'OK' if report['closed_loop_ok'] else 'BEHIND'}")
+
+    with open(args.adaptive_output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.adaptive_output}")
 
 
 def _bench_evictions(args: argparse.Namespace, spec) -> None:
@@ -445,6 +579,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
         max_idle=args.max_idle,
         sweep_interval=args.sweep_interval,
         telemetry=telemetry,
+        controller=True if args.adaptive_controller else None,
     )
     simulator = VSwitchSimulator(workload.pipeline, system, config)
     result = simulator.run(trace)
@@ -465,6 +600,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
             now=args.duration
         )
 
+    controller = simulator.controller
     if args.format == "prom":
         print(telemetry.registry.to_prometheus(), end="")
     elif args.format == "json":
@@ -473,11 +609,20 @@ def cmd_stats(args: argparse.Namespace) -> int:
             "summary": telemetry.summary(),
             "snapshots": [s.to_dict() for s in telemetry.snapshots],
         }
+        if controller is not None:
+            payload["controller"] = controller.summary()
         print(json.dumps(payload, indent=2))
     else:
         print(result.summary())
         print()
         print(render_telemetry(telemetry.summary()))
+        if controller is not None:
+            digest = controller.summary()
+            print()
+            print(
+                f"controller: {digest['transitions']} transitions over "
+                f"{digest['sweeps']} sweeps; state={digest['state']}"
+            )
     if args.trace_out:
         telemetry.close()
         print(f"wrote trace events to {args.trace_out}", file=sys.stderr)
@@ -570,6 +715,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--evictions-output", default="BENCH_evictions.json",
         help="where to write the eviction-policy comparison",
     )
+    bench.add_argument(
+        "--adaptive", action="store_true",
+        help="also A/B the closed-loop adaptive controller vs static "
+             "configurations on a locality-shifting workload",
+    )
+    bench.add_argument(
+        "--adaptive-output", default="BENCH_adaptive.json",
+        help="where to write the adaptive-controller comparison",
+    )
 
     stats = sub.add_parser(
         "stats",
@@ -629,6 +783,13 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--trace-capacity", type=int, default=65536,
         help="in-memory trace ring-buffer size",
+    )
+    stats.add_argument(
+        "--adaptive-controller", action="store_true",
+        help="enable the telemetry-driven adaptive control loop "
+             "(mode/K/placement/eviction-policy steering on the sweep "
+             "cadence); its decisions appear as controller metrics, "
+             "trace events and a summary section",
     )
     return parser
 

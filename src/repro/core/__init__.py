@@ -16,7 +16,8 @@ from .partition import (
 )
 from .rulegen import build_ltm_rule, build_ltm_rules
 from .gigaflow import GigaflowCache, InstallOutcome
-from .adaptive import AdaptiveConfig, AdaptiveGigaflowCache
+from .adaptive import AdaptiveConfig, AdaptiveGigaflowCache, ModeGovernor
+from .controller import AdaptiveController, ControllerConfig
 from .validate import (
     CacheInvariantError,
     ChainReport,
@@ -40,8 +41,11 @@ from .revalidation import (
 
 __all__ = [
     "AdaptiveConfig",
+    "AdaptiveController",
     "AdaptiveGigaflowCache",
     "CacheInvariantError",
+    "ControllerConfig",
+    "ModeGovernor",
     "ChainReport",
     "GigaflowCache",
     "chain_report",

@@ -6,21 +6,29 @@ sharing opportunities, and proposes profile-guided optimisation: sample
 the traffic, and when sub-traversal sharing is scarce, fall back to
 Megaflow-style (single-segment) entries to preserve baseline behaviour.
 
-:class:`AdaptiveGigaflowCache` implements that proposal.  It monitors the
-reuse rate of freshly-installed sub-traversals over sliding windows and
-switches the active partitioner between disjoint partitioning (sharing
-pays for the extra per-flow entries) and single-segment Megaflow mode
-(it does not).  Switching is hysteretic so the cache does not flap.
+:class:`AdaptiveGigaflowCache` implements that proposal.  The mode
+state itself — which partitioner is active, the probe cadence while in
+Megaflow mode, and the per-window sharing estimate — lives in a
+:class:`ModeGovernor` so two drivers can share it:
+
+* standalone, the governor rolls its own windows and applies the
+  hysteresis thresholds itself (the original self-contained behaviour);
+* under a :class:`~repro.core.controller.AdaptiveController`, the
+  governor is marked *external* and only accumulates; the controller
+  reads the window on the sweep cadence and makes the mode/K decisions
+  from the full telemetry picture.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from ..flow.fields import DEFAULT_SCHEMA, FieldSchema
 from ..pipeline.traversal import Traversal
 from .gigaflow import GigaflowCache, InstallOutcome
 from .partition import disjoint_partition, megaflow_partition
+from .rulegen import build_ltm_rules
 
 
 @dataclass
@@ -54,6 +62,118 @@ class AdaptiveConfig:
             raise ValueError("probe_fraction must be in (0, 1]")
 
 
+class ModeGovernor:
+    """Partitioner-mode state machine shared by cache and controller.
+
+    Attributes:
+        megaflow_mode: ``True`` while installs default to single-segment
+            (Megaflow-style) entries.
+        mode_switches: Hysteretic transitions taken via :meth:`set_mode`.
+        effective_k: Upper bound on partition segments while in disjoint
+            mode (``None`` = use every table).  Only the controller sets
+            this; the standalone governor leaves it alone.
+        external: When ``True`` the governor never rolls windows itself;
+            an external driver consumes them via :meth:`take_window`.
+    """
+
+    def __init__(self, config: AdaptiveConfig):
+        self.config = config
+        self.megaflow_mode = False
+        self.mode_switches = 0
+        self.effective_k: Optional[int] = None
+        self.external = False
+        self._window_generated = 0
+        self._window_reused = 0
+        self._probe_installs = 0
+        self._probes_done = 0
+        self._probe_pending = False
+
+    # -- probe cadence -----------------------------------------------------------
+
+    def next_install_partitions(self) -> bool:
+        """Whether the next install should run the disjoint partitioner.
+
+        In disjoint mode every install partitions.  In Megaflow mode a
+        probe fires whenever the realised probe count falls behind
+        ``floor(installs × probe_fraction)``, so the realised rate
+        equals the requested fraction exactly (the old
+        ``installs % round(1/fraction)`` cadence distorted it — 0.3
+        became every-3rd ≈ 0.33 — and skipped the first period entirely
+        after a mode switch).  Integer bookkeeping, not a float
+        accumulator: repeated float adds drift and eventually skip a
+        probe.
+        """
+        if not self.megaflow_mode:
+            return True
+        if self._probe_pending:
+            self._probe_pending = False
+            return True
+        self._probe_installs += 1
+        expected = int(
+            self._probe_installs * self.config.probe_fraction + 1e-9
+        )
+        if self._probes_done < expected:
+            self._probes_done += 1
+            return True
+        return False
+
+    # -- sharing window ----------------------------------------------------------
+
+    def record(self, generated: int, reused: int) -> None:
+        """Fold one partitioned install into the sharing window.
+
+        Standalone (``external`` unset), a full window triggers the
+        hysteresis decision immediately; under a controller the window
+        just accumulates until :meth:`take_window` drains it.
+        """
+        self._window_generated += generated
+        self._window_reused += reused
+        if not self.external and self._window_generated >= self.config.window:
+            self._roll_window()
+
+    def take_window(self) -> Tuple[int, int]:
+        """Drain and return ``(generated, reused)`` counts (controller)."""
+        out = (self._window_generated, self._window_reused)
+        self._window_generated = 0
+        self._window_reused = 0
+        return out
+
+    @property
+    def observed_sharing_rate(self) -> float:
+        """Sharing rate of the current (incomplete) window."""
+        if not self._window_generated:
+            return 0.0
+        return self._window_reused / self._window_generated
+
+    # -- mode transitions --------------------------------------------------------
+
+    def set_mode(self, megaflow: bool) -> bool:
+        """Switch partitioner mode; returns ``True`` if it changed.
+
+        Entering Megaflow mode schedules an immediate probe so the
+        sharing estimate starts refreshing right away instead of one
+        probe period later; the cadence then restarts from zero credit.
+        """
+        if megaflow == self.megaflow_mode:
+            return False
+        self.megaflow_mode = megaflow
+        self.mode_switches += 1
+        if megaflow:
+            self._probe_installs = 0
+            self._probes_done = 0
+            self._probe_pending = True
+        return True
+
+    def _roll_window(self) -> None:
+        sharing = self._window_reused / self._window_generated
+        if not self.megaflow_mode and sharing < self.config.low_watermark:
+            self.set_mode(True)
+        elif self.megaflow_mode and sharing > self.config.high_watermark:
+            self.set_mode(False)
+        self._window_generated = 0
+        self._window_reused = 0
+
+
 class AdaptiveGigaflowCache(GigaflowCache):
     """A Gigaflow cache that degrades to Megaflow entries when the
     traffic offers no sub-traversal sharing."""
@@ -66,7 +186,7 @@ class AdaptiveGigaflowCache(GigaflowCache):
         table_capacity: int = 8192,
         schema: FieldSchema = DEFAULT_SCHEMA,
         start_tag: int = 0,
-        config: AdaptiveConfig = AdaptiveConfig(),
+        config: Optional[AdaptiveConfig] = None,
         **kwargs,
     ):
         super().__init__(
@@ -77,12 +197,32 @@ class AdaptiveGigaflowCache(GigaflowCache):
             partitioner=disjoint_partition,
             **kwargs,
         )
-        self.config = config
-        self.megaflow_mode = False
-        self.mode_switches = 0
-        self._window_generated = 0
-        self._window_reused = 0
-        self._installs = 0
+        # None sentinel: a dataclass instance in the signature would be
+        # evaluated once at def time and aliased by every cache built
+        # without an explicit config (ruff B008).
+        self.config = config if config is not None else AdaptiveConfig()
+        self.governor = ModeGovernor(self.config)
+
+    # -- governor passthroughs (the pre-refactor public surface) -----------------
+
+    @property
+    def megaflow_mode(self) -> bool:
+        return self.governor.megaflow_mode
+
+    @megaflow_mode.setter
+    def megaflow_mode(self, value: bool) -> None:
+        # Raw assignment, as before the governor extraction: tests and
+        # callers forcing a mode bypass switch counting and probe
+        # priming; use governor.set_mode() for a counted transition.
+        self.governor.megaflow_mode = value
+
+    @property
+    def mode_switches(self) -> int:
+        return self.governor.mode_switches
+
+    @property
+    def observed_sharing_rate(self) -> float:
+        return self.governor.observed_sharing_rate
 
     # -- the profile-guided install path -----------------------------------------
 
@@ -92,47 +232,29 @@ class AdaptiveGigaflowCache(GigaflowCache):
         generation: int = 0,
         now: float = 0.0,
     ) -> InstallOutcome:
-        self._installs += 1
-        probing = (
-            self.megaflow_mode
-            and (self._installs % max(1, round(1 / self.config.probe_fraction))
-                 == 0)
-        )
-        use_partitioning = not self.megaflow_mode or probing
+        governor = self.governor
+        use_partitioning = governor.next_install_partitions()
 
         available = sum(1 for t in self.tables if not t.is_full)
         max_parts = min(len(self.tables), max(available, 1))
         if use_partitioning:
+            if governor.effective_k is not None:
+                max_parts = min(max_parts, max(governor.effective_k, 1))
             partition = disjoint_partition(traversal, max_parts)
         else:
             partition = megaflow_partition(traversal)
-        from .rulegen import build_ltm_rules
 
         rules = build_ltm_rules(partition, generation, now)
         outcome = self.install_rules(rules)
+        if (
+            self.chain_repair
+            and outcome.complete
+            and outcome.reused
+            and not outcome.installed
+        ):
+            self._repair_shadowed_chain(traversal, now)
 
         # Only partitioned installs inform the sharing estimate.
         if use_partitioning:
-            self._window_generated += len(rules)
-            self._window_reused += outcome.reused
-            if self._window_generated >= self.config.window:
-                self._update_mode()
+            governor.record(len(rules), outcome.reused)
         return outcome
-
-    def _update_mode(self) -> None:
-        sharing = self._window_reused / self._window_generated
-        if not self.megaflow_mode and sharing < self.config.low_watermark:
-            self.megaflow_mode = True
-            self.mode_switches += 1
-        elif self.megaflow_mode and sharing > self.config.high_watermark:
-            self.megaflow_mode = False
-            self.mode_switches += 1
-        self._window_generated = 0
-        self._window_reused = 0
-
-    @property
-    def observed_sharing_rate(self) -> float:
-        """Sharing rate of the current (incomplete) window."""
-        if not self._window_generated:
-            return 0.0
-        return self._window_reused / self._window_generated

@@ -96,6 +96,21 @@ class GigaflowCache(FlowCache):
             revalidator's behaviour under pressure); ``"reject"`` refuses
             the install instead (the paper's ``GF_k not full``
             formulation relies on idle expiry alone).
+        chain_repair: Repair *shadowed chains* on the miss path.  When a
+            rule chain is broken (eviction took a middle segment) its
+            surviving head still matches in an early table and dead-ends
+            the lookup — shadowing any complete replacement entry that a
+            later reinstall placed in a later table.  Because the
+            reinstall merely *reuses* the resident replacement, nothing
+            changes and the flow misses forever.  With ``chain_repair``
+            on, an install that reused every rule of a complete chain
+            (i.e. the cache claims coverage, yet the packet just missed)
+            replays the lookup and evicts the stale shadowing rules until
+            the chain is reachable.  Off by default to preserve the
+            historical lookup-for-lookup behaviour; the adaptive
+            controller switches it on, since mode switches reinstall
+            flows at a different partition shape and would otherwise
+            strand them behind their own stale heads.
     """
 
     name = "gigaflow"
@@ -109,6 +124,7 @@ class GigaflowCache(FlowCache):
         partitioner: Partitioner = disjoint_partition,
         placement: str = "balanced",
         eviction: str = "lru",
+        chain_repair: bool = False,
     ):
         super().__init__()
         if num_tables < 1:
@@ -128,6 +144,9 @@ class GigaflowCache(FlowCache):
         )
         #: Cumulative sharing events (a rule reused by another traversal).
         self.sharing_events = 0
+        self.chain_repair = chain_repair
+        #: Stale shadowing rules removed by chain repair (see class doc).
+        self.shadow_repairs = 0
 
     def set_eviction_policy(self, name: str) -> None:
         table_policy = "lru" if name == "reject" else name
@@ -203,7 +222,15 @@ class GigaflowCache(FlowCache):
         max_parts = min(len(self.tables), max(available, 1))
         partition = self.partitioner(traversal, max_parts)
         rules = build_ltm_rules(partition, generation, now)
-        return self.install_rules(rules)
+        outcome = self.install_rules(rules)
+        if (
+            self.chain_repair
+            and outcome.complete
+            and outcome.reused
+            and not outcome.installed
+        ):
+            self._repair_shadowed_chain(traversal, now)
+        return outcome
 
     def install_rules(self, rules: Sequence[LtmRule]) -> InstallOutcome:
         """Place ordered LTM rules into strictly increasing tables.
@@ -303,6 +330,46 @@ class GigaflowCache(FlowCache):
         if tel is not None:
             tel.on_evict(self.telemetry_name, policy_name)
         return victim_table
+
+    def _repair_shadowed_chain(self, traversal: Traversal, now: float) -> None:
+        """Evict stale rules shadowing an already-resident complete chain.
+
+        Called from the miss path when an install reused *every* rule of
+        a complete chain: the cache holds full coverage for this flow,
+        yet the packet missed — so some stale rule (the surviving head
+        of a broken chain) matches in an earlier table and dead-ends the
+        lookup before it can reach the resident entries.  Replays the
+        lookup walk and removes the rule at the dead end, repeating
+        until the chain is reachable.  This is slow-path work, the
+        software analogue of the OVS revalidator culling stale flows.
+        """
+        removed = 0
+        limit = len(self.tables) * 2
+        while removed < limit:
+            tag = self.start_tag
+            flow = traversal.initial_flow
+            matched: Optional[Tuple[LtmTable, LtmRule]] = None
+            for table in self.tables:
+                if tag == TAG_DONE:
+                    break
+                rule, _groups = table.lookup(flow, tag)
+                if rule is None:
+                    continue
+                matched = (table, rule)
+                flow = rule.actions.apply(flow)
+                tag = rule.next_tag
+            if tag == TAG_DONE or matched is None:
+                break
+            table, stale = matched
+            table.remove(stale)
+            removed += 1
+        if removed:
+            self.shadow_repairs += removed
+            self.stats.evictions += removed
+            self.bump_epoch()
+            tel = self.telemetry
+            if tel is not None:
+                tel.on_evict(self.telemetry_name, "shadow", removed)
 
     # -- FlowCache bookkeeping ----------------------------------------------------------
 

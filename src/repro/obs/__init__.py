@@ -17,6 +17,7 @@ from .metrics import (
 from .snapshot import AGE_BUCKETS, CacheSnapshot, age_histogram, take_snapshot
 from .telemetry import Telemetry
 from .trace import (
+    EV_CONTROLLER,
     EV_EVICT,
     EV_FASTPATH_INVALIDATE,
     EV_FASTPATH_REPLAY,
@@ -34,6 +35,7 @@ from .trace import (
 
 __all__ = [
     "AGE_BUCKETS",
+    "EV_CONTROLLER",
     "EV_EVICT",
     "EV_FASTPATH_INVALIDATE",
     "EV_FASTPATH_REPLAY",

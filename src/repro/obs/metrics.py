@@ -90,6 +90,26 @@ class Histogram:
                 return
         self.counts[-1] += 1
 
+    def observe_bucketed(
+        self, counts: Sequence[int], value_sum: float
+    ) -> None:
+        """Fold pre-bucketed counts (aligned to ``bounds`` + overflow)
+        in one pass — equivalent to ``observe``-ing each underlying
+        value, without the per-value call cost."""
+        if len(counts) != len(self.counts):
+            raise ValueError(
+                f"expected {len(self.counts)} bucket counts, "
+                f"got {len(counts)}"
+            )
+        total = 0
+        own = self.counts
+        for i, count in enumerate(counts):
+            if count:
+                own[i] += count
+                total += count
+        self.count += total
+        self.sum += value_sum
+
     def cumulative(self) -> List[Tuple[float, int]]:
         """``(upper bound, cumulative count)`` pairs, ``+Inf`` last."""
         out: List[Tuple[float, int]] = []

@@ -11,6 +11,7 @@ record the Flow Correlator line of work tunes against.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -25,16 +26,15 @@ def age_histogram(
     now: float,
     bounds: Sequence[float] = AGE_BUCKETS,
 ) -> List[int]:
-    """Bucket ``now - last_used`` ages; the final slot is the overflow."""
+    """Bucket ``now - used`` ages; the final slot is the overflow.
+
+    ``bisect_left`` gives the first bound ``>= age`` — the inclusive
+    upper bound — and returns ``len(bounds)`` past the last bound,
+    which is exactly the overflow slot's index.
+    """
     counts = [0] * (len(bounds) + 1)
     for used in last_used_times:
-        age = now - used
-        for i, bound in enumerate(bounds):
-            if age <= bound:
-                counts[i] += 1
-                break
-        else:
-            counts[-1] += 1
+        counts[bisect_left(bounds, now - used)] += 1
     return counts
 
 

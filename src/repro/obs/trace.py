@@ -22,6 +22,7 @@ the per-event field schema):
 ``fastpath_invalidate``   a memoized record was dropped (stale epoch)
 ``sweep``                 the engine's idle sweep fired
 ``snapshot``              a periodic occupancy/churn snapshot was taken
+``controller``            the adaptive controller changed a knob
 ========================  =====================================================
 """
 
@@ -44,6 +45,7 @@ EV_FASTPATH_REPLAY = "fastpath_replay"
 EV_FASTPATH_INVALIDATE = "fastpath_invalidate"
 EV_SWEEP = "sweep"
 EV_SNAPSHOT = "snapshot"
+EV_CONTROLLER = "controller"
 
 
 class TraceEvent:

@@ -16,6 +16,7 @@ and the generated P4 declare the same match keys and actions.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..flow.fields import DEFAULT_SCHEMA, FieldSchema
 
@@ -74,9 +75,10 @@ def _set_field_actions(schema: FieldSchema) -> str:
 def generate_ltm_table(
     index: int,
     schema: FieldSchema = DEFAULT_SCHEMA,
-    config: P4GenConfig = P4GenConfig(),
+    config: Optional[P4GenConfig] = None,
 ) -> str:
     """One LTM table declaration (the paper's Fig. 6)."""
+    config = config if config is not None else P4GenConfig()
     actions = ", ".join(
         [f"set_{f.name}" for f in schema]
         + ["update_table_tag", "forward", "drop_packet", "NoAction"]
@@ -93,9 +95,10 @@ def generate_ltm_table(
 
 def generate_program(
     schema: FieldSchema = DEFAULT_SCHEMA,
-    config: P4GenConfig = P4GenConfig(),
+    config: Optional[P4GenConfig] = None,
 ) -> str:
     """The full K-table LTM cache pipeline as a P4_16 program."""
+    config = config if config is not None else P4GenConfig()
     tables = "\n\n".join(
         generate_ltm_table(i, schema, config)
         for i in range(config.num_tables)
@@ -171,7 +174,7 @@ PAPER_PROTOTYPE_RESOURCES = {
 
 
 def estimate_resources(
-    config: P4GenConfig = P4GenConfig(),
+    config: Optional[P4GenConfig] = None,
     schema: FieldSchema = DEFAULT_SCHEMA,
 ) -> dict:
     """Scale the paper's measured utilisation to another configuration.
@@ -180,6 +183,7 @@ def estimate_resources(
     entries × match-key bits); logic scales with tables × key bits.  The
     paper's own 4×8K point is returned exactly.
     """
+    config = config if config is not None else P4GenConfig()
     baseline_bits = 4 * 8192 * (sum(f.width for f in DEFAULT_SCHEMA)
                                 + TAG_WIDTH)
     bits = config.num_tables * config.entries_per_table * (

@@ -190,14 +190,14 @@ class AdaptiveGigaflowSystem(GigaflowSystem):
         adaptive_config=None,
         **kwargs,
     ):
-        from ..core.adaptive import AdaptiveConfig, AdaptiveGigaflowCache
+        from ..core.adaptive import AdaptiveGigaflowCache
 
         self.cache = AdaptiveGigaflowCache(
             num_tables=num_tables,
             table_capacity=table_capacity,
             schema=schema,
             start_tag=start_tag,
-            config=adaptive_config or AdaptiveConfig(),
+            config=adaptive_config,
             **kwargs,
         )
 
@@ -228,6 +228,18 @@ class SimConfig:
             LTM tables) before the first packet — the per-run A/B knob
             the eviction bench sweeps.  ``None`` keeps whatever policy
             the cache was built with (the ``"lru"`` default).
+        controller: Enables the telemetry-driven adaptive control loop
+            (:class:`~repro.core.controller.AdaptiveController`), run
+            once per snapshot on the sweep cadence.  Accepts ``True``
+            (default :class:`~repro.core.controller.ControllerConfig`),
+            a config, or a pre-built controller instance (handy for
+            inspecting its transition log after the run — also exposed
+            as :attr:`VSwitchSimulator.controller`).  When no
+            ``telemetry`` hub is configured the engine creates a private
+            one as the controller's signal source.  Unlike ``telemetry``
+            this knob *does* steer the simulation: the controller
+            mutates live cache knobs, so results may (intentionally)
+            differ from a controller-off run.
     """
 
     max_idle: float = 0.0
@@ -237,6 +249,7 @@ class SimConfig:
     fast_path: bool = True
     telemetry: Optional[Telemetry] = None
     eviction: Optional[str] = None
+    controller: object = None
 
 
 class VSwitchSimulator:
@@ -254,6 +267,9 @@ class VSwitchSimulator:
         #: The fast-path memo of the most recent run (None when disabled)
         #: — exposes memo hit/invalidation counters for benchmarking.
         self.fastpath: Optional[FastPathIndex] = None
+        #: The adaptive controller of the most recent run (None when
+        #: disabled) — exposes its transition log and final knob state.
+        self.controller = None
 
     def run(self, trace: Trace) -> SimResult:
         return self.run_packets(trace.packets(), len(trace))
@@ -280,8 +296,28 @@ class VSwitchSimulator:
         if config.eviction is not None:
             cache.set_eviction_policy(config.eviction)
         tel = config.telemetry
+        ctl = None
+        if config.controller is not None and config.controller is not False:
+            from ..core.controller import (
+                AdaptiveController,
+                ControllerConfig,
+            )
+
+            if tel is None:
+                # Private hub: the controller's signal source.
+                tel = Telemetry()
+            spec = config.controller
+            if isinstance(spec, AdaptiveController):
+                ctl = spec
+            elif isinstance(spec, ControllerConfig):
+                ctl = AdaptiveController(spec)
+            else:  # True (or any truthy marker): defaults
+                ctl = AdaptiveController()
         if tel is not None:
             tel.attach(cache, system.name)
+        if ctl is not None:
+            ctl.attach(cache, tel)
+        self.controller = ctl
         next_snapshot = sweep_interval
         self.fastpath = (
             FastPathIndex(cache, telemetry=tel)
@@ -291,6 +327,15 @@ class VSwitchSimulator:
         lookup = (
             self.fastpath.lookup if self.fastpath is not None
             else cache.lookup
+        )
+        # Hoisted hot-path hooks: one bound-method load per run instead
+        # of attribute chains per packet; lookup_start only matters when
+        # the tracer is live (its body is tracer-guarded anyway).
+        on_lookup = tel.on_lookup if tel is not None else None
+        on_start = (
+            tel.on_lookup_start
+            if tel is not None and tel.tracer.enabled
+            else None
         )
 
         now = 0.0
@@ -311,14 +356,17 @@ class VSwitchSimulator:
                 # Snapshots ride the sweep cadence but fire even when
                 # idle expiry is disabled (max_idle == 0).
                 while now >= next_snapshot:
-                    tel.sample(cache, next_snapshot)
+                    snapshot = tel.sample(cache, next_snapshot)
+                    if ctl is not None:
+                        ctl.on_sweep(next_snapshot, snapshot)
                     next_snapshot += sweep_interval
-                tel.on_lookup_start(now, packet.flow)
+                if on_start is not None:
+                    on_start(now, packet.flow)
 
             result = lookup(packet.flow, now)
             cache_probes += result.groups_probed
-            if tel is not None:
-                tel.on_lookup(result, now, packet.flow)
+            if on_lookup is not None:
+                on_lookup(result, now, packet.flow)
             if result.hit:
                 latency_sum += hit_us
                 series.record(now, hit=True)
@@ -362,6 +410,8 @@ class VSwitchSimulator:
         if tel is not None:
             tel.finalize(cache, now, self.fastpath)
             telemetry_summary = tel.summary()
+            if ctl is not None:
+                telemetry_summary["controller"] = ctl.summary()
 
         stats = cache.stats.snapshot()
         misses = stats.misses

@@ -118,7 +118,6 @@ class TestAdaptiveGigaflow:
     def test_megaflow_mode_installs_single_segments(self, mini_pipeline):
         cache = AdaptiveGigaflowCache(num_tables=4, table_capacity=10**6)
         cache.megaflow_mode = True
-        cache._installs = 1  # avoid the probe install
         traversal = mini_pipeline.execute(flow())
         outcome = cache.install_traversal(traversal)
         assert outcome.installed == 1  # one megaflow-style rule
