@@ -1,22 +1,40 @@
-"""Fig. 19 (Appendix A): per-core slow-path miss load vs CPU cores."""
+"""Fig. 19 (Appendix A): per-core slow-path miss load vs CPU cores.
+
+Empirical since the sharded engine landed: every core count runs that
+many *real* worker processes (``mode="processes"``) over an RSS flow
+partition, and the analytic ``1/n`` RSS model rides along as a
+cross-check.  Megaflow is expected to track the model tightly; Gigaflow
+lands above it because hash partitioning severs cross-shard
+sub-traversal sharing (see ``experiments/fig19.py``).
+"""
 
 from repro.experiments import core_scaling
 from conftest import run_once
 
+CORES = (1, 2, 4, 8)
+
 
 def test_fig19_core_scaling(benchmark, scale):
     result = run_once(
-        benchmark, core_scaling, "PSC", "high", (1, 2, 4, 8), scale
+        benchmark, core_scaling, "PSC", "high", CORES, scale, "processes"
     )
-    print("\ncores  MF-misses/core  GF-misses/core")
-    for cores in (1, 2, 4, 8):
-        print(f"{cores:5d}  {result.megaflow_by_cores[cores]:14.1f}  "
-              f"{result.gigaflow_by_cores[cores]:14.1f}")
+    print("\ncores  MF-emp/core  MF-1/n  GF-emp/core  GF-1/n")
+    for n in CORES:
+        mf, gf = result.megaflow[n], result.gigaflow[n]
+        print(f"{n:5d}  {mf.per_core_misses:11.1f}  {mf.analytic_per_core:6.1f}"
+              f"  {gf.per_core_misses:11.1f}  {gf.analytic_per_core:6.1f}")
 
-    mf, gf = result.megaflow_by_cores, result.gigaflow_by_cores
-    # RSS spreads misses evenly: per-core load scales as 1/n for both.
-    for cores in (2, 4, 8):
-        assert mf[cores] == mf[1] / cores
-        assert gf[cores] == gf[1] / cores
+    mf, gf = result.megaflow, result.gigaflow
+    for n in (2, 4, 8):
+        # Per-core load declines with every doubling for both systems.
+        assert mf[n].per_core_misses < mf[n // 2].per_core_misses
+        assert gf[n].per_core_misses < gf[n // 2].per_core_misses
+        # Megaflow misses spread RSS-style: close to the 1/n model.
+        assert mf[n].analytic_error < 0.35
+        # Gigaflow loses cross-shard sharing, so its measured per-core
+        # load can only sit at or above the idealised 1/n prediction.
+        assert gf[n].per_core_misses >= gf[n].analytic_per_core
     # Gigaflow's lower total keeps it below Megaflow at every core count.
-    assert all(gf[n] < mf[n] for n in (1, 2, 4, 8))
+    assert all(
+        gf[n].per_core_misses < mf[n].per_core_misses for n in CORES
+    )

@@ -53,6 +53,16 @@ class CacheStats:
             self.evictions,
         )
 
+    def merged_with(self, other: "CacheStats") -> "CacheStats":
+        """Counter-sum of two stat records (sharded-run aggregation)."""
+        return CacheStats(
+            self.hits + other.hits,
+            self.misses + other.misses,
+            self.insertions + other.insertions,
+            self.rejected + other.rejected,
+            self.evictions + other.evictions,
+        )
+
 
 @dataclass
 class CacheResult:

@@ -87,8 +87,36 @@ class ModeGovernor:
         self._probe_installs = 0
         self._probes_done = 0
         self._probe_pending = False
+        # Live probe fraction: starts at the configured value but is
+        # owned by the governor so a controller can retune it per-cache
+        # without mutating the (possibly shared) AdaptiveConfig.
+        self._probe_fraction = config.probe_fraction
 
     # -- probe cadence -----------------------------------------------------------
+
+    @property
+    def probe_fraction(self) -> float:
+        """The live probe fraction (controller-tunable, see
+        :meth:`set_probe_fraction`)."""
+        return self._probe_fraction
+
+    def set_probe_fraction(self, fraction: float) -> bool:
+        """Retune the Megaflow-mode probe fraction; ``True`` on change.
+
+        The controller ramps this with mode-residency time (fresh
+        Megaflow phases probe gently; long-lived ones probe harder so
+        returning locality is caught quickly).  Changing the fraction
+        restarts the integer cadence bookkeeping — mixing credits
+        accrued under different fractions would realise neither.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("probe_fraction must be in (0, 1]")
+        if fraction == self._probe_fraction:
+            return False
+        self._probe_fraction = fraction
+        self._probe_installs = 0
+        self._probes_done = 0
+        return True
 
     def next_install_partitions(self) -> bool:
         """Whether the next install should run the disjoint partitioner.
@@ -110,7 +138,7 @@ class ModeGovernor:
             return True
         self._probe_installs += 1
         expected = int(
-            self._probe_installs * self.config.probe_fraction + 1e-9
+            self._probe_installs * self._probe_fraction + 1e-9
         )
         if self._probes_done < expected:
             self._probes_done += 1

@@ -56,12 +56,14 @@ __all__ = [
     "KNOB_MODE",
     "KNOB_PLACEMENT",
     "KNOB_POLICY",
+    "KNOB_PROBE",
 ]
 
 KNOB_MODE = "mode"
 KNOB_K = "effective_k"
 KNOB_PLACEMENT = "placement"
 KNOB_POLICY = "eviction_policy"
+KNOB_PROBE = "probe_fraction"
 
 MODE_DISJOINT = "disjoint"
 MODE_MEGAFLOW = "megaflow"
@@ -114,6 +116,18 @@ class ControllerConfig:
         decay_factor: Weight-decay factor applied to sharing-aware
             policies each sweep (see
             :meth:`~repro.cache.eviction.SharingAwarePolicy.decay`).
+        manage_probe / probe_floor / probe_ceiling / probe_ramp:
+            Mode-residency-driven probe cadence (the §7 sampling rate).
+            While the governor sits in Megaflow mode the probe fraction
+            ramps linearly from ``probe_floor`` (fresh switch: the
+            sharing verdict that caused it is still trustworthy, probe
+            gently) up to ``probe_ceiling`` once the mode has been
+            resident ``probe_ramp`` seconds (the verdict has gone
+            stale: spend more installs re-measuring so returning
+            locality is caught quickly).  Leaving Megaflow mode resets
+            the ramp; the governor restarts its integer cadence
+            bookkeeping on every retune so the realised probe share
+            tracks the live fraction exactly.
     """
 
     low_watermark: float = 0.25
@@ -134,6 +148,10 @@ class ControllerConfig:
     policy_weak: str = "lru"
     policy_strong: str = "sharing"
     decay_factor: float = 0.5
+    manage_probe: bool = True
+    probe_floor: float = 0.05
+    probe_ceiling: float = 0.5
+    probe_ramp: float = 60.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.low_watermark <= self.high_watermark <= 1.0:
@@ -154,6 +172,12 @@ class ControllerConfig:
             raise ValueError("k_min must be positive")
         if not 0.0 <= self.decay_factor < 1.0:
             raise ValueError("decay_factor must be in [0, 1)")
+        if not 0.0 < self.probe_floor <= self.probe_ceiling <= 1.0:
+            raise ValueError(
+                "need 0 < probe_floor <= probe_ceiling <= 1"
+            )
+        if self.probe_ramp <= 0:
+            raise ValueError("probe_ramp must be positive")
         for policy in (self.policy_weak, self.policy_strong):
             if policy not in POLICY_NAMES:
                 raise ValueError(
@@ -190,6 +214,9 @@ class AdaptiveController:
         self._last_ltm_hits: List[int] = []
         self._last_stats = (0, 0, 0)
         self._policy = None
+        # When the governor entered Megaflow mode (None while disjoint
+        # or unknown) — the probe-fraction ramp's residency clock.
+        self._mode_entered: Optional[float] = None
 
     # -- wiring -----------------------------------------------------------------
 
@@ -330,6 +357,7 @@ class AdaptiveController:
                 (KNOB_MODE, MODE_MEGAFLOW), sharing < low_thr
             ):
                 governor.set_mode(True)
+                self._mode_entered = now
                 self._apply(
                     KNOB_MODE, MODE_DISJOINT, MODE_MEGAFLOW, now, signals
                 )
@@ -337,9 +365,36 @@ class AdaptiveController:
                 (KNOB_MODE, MODE_DISJOINT), sharing > high_thr
             ):
                 governor.set_mode(False)
+                self._mode_entered = None
                 self._apply(
                     KNOB_MODE, MODE_MEGAFLOW, MODE_DISJOINT, now, signals
                 )
+
+        if cfg.manage_probe and governor is not None:
+            if governor.megaflow_mode:
+                if self._mode_entered is None:
+                    # Mode was entered outside our control (standalone
+                    # hysteresis, a forced set, or before attach):
+                    # start the residency clock at this sweep.
+                    self._mode_entered = now
+                residency = now - self._mode_entered
+                span = cfg.probe_ceiling - cfg.probe_floor
+                fraction = round(
+                    cfg.probe_floor
+                    + span * min(residency / cfg.probe_ramp, 1.0),
+                    3,
+                )
+                signals["mode_residency"] = residency
+                old_fraction = governor.probe_fraction
+                if governor.set_probe_fraction(fraction) and residency > 0:
+                    # The residency-0 reset to probe_floor is part of
+                    # the mode transition itself (the ramp's baseline),
+                    # not a knob change worth its own log entry.
+                    self._apply(
+                        KNOB_PROBE, old_fraction, fraction, now, signals
+                    )
+            else:
+                self._mode_entered = None
 
         shares = signals["table_hit_shares"]
         if (
@@ -441,6 +496,11 @@ class AdaptiveController:
                 ),
                 "placement": getattr(self.cache, "placement", None),
                 "eviction_policy": self._policy,
+                "probe_fraction": (
+                    governor.probe_fraction
+                    if governor is not None
+                    else None
+                ),
             },
             "last_signals": self.last_signals,
             "log": self.transitions[-50:],
@@ -451,7 +511,7 @@ def _encode(knob: str, value) -> float:
     """Stable numeric encoding of a knob value for the state gauge."""
     if knob == KNOB_MODE:
         return 1.0 if value == MODE_MEGAFLOW else 0.0
-    if knob == KNOB_K:
+    if knob == KNOB_K or knob == KNOB_PROBE:
         return float(value)
     if knob == KNOB_PLACEMENT:
         return 1.0 if value == "earliest" else 0.0

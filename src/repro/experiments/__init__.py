@@ -62,7 +62,7 @@ from .sec636 import (
     hit_latency_table,
     revalidation_comparison,
 )
-from .fig19 import CoreScalingResult, core_scaling
+from .fig19 import CoreScalingPoint, CoreScalingResult, core_scaling
 from .ablations import (
     AblationResult,
     adaptive_fallback,
@@ -84,6 +84,7 @@ __all__ = [
     "BaselineResult",
     "HierarchySystem",
     "compare_baselines",
+    "CoreScalingPoint",
     "CoreScalingResult",
     "adaptive_fallback",
     "CoverageRow",

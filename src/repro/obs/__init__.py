@@ -15,7 +15,7 @@ from .metrics import (
     parse_prometheus_text,
 )
 from .snapshot import AGE_BUCKETS, CacheSnapshot, age_histogram, take_snapshot
-from .telemetry import Telemetry
+from .telemetry import Telemetry, merge_telemetry_summaries
 from .trace import (
     EV_CONTROLLER,
     EV_EVICT,
@@ -57,6 +57,7 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "age_histogram",
+    "merge_telemetry_summaries",
     "parse_prometheus_text",
     "take_snapshot",
 ]

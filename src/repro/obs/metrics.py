@@ -318,6 +318,67 @@ class MetricsRegistry:
     def to_json_text(self, indent: int = 2) -> str:
         return json.dumps(self.to_json(), indent=indent) + "\n"
 
+    # -- merging ---------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other``'s samples into this registry (returns ``self``).
+
+        Merge semantics, pinned by ``tests/test_metrics_merge.py``:
+
+        * **counters** sum;
+        * **gauges** sum (the sharded engine's per-worker gauges —
+          entries, capacity, memo sizes — are additive; ratio-style
+          gauges such as occupancy are *recomputed* by the caller after
+          merging, see ``SimResult.merge``);
+        * **histograms** fold bucket-wise: ``counts`` add elementwise,
+          ``sum``/``count`` add — equivalent to observing the union of
+          the underlying samples.
+
+        Families absent from ``self`` are registered first, so merging
+        into a fresh registry reconstructs the union.  A family present
+        in both with a different kind, label set or bucket layout raises
+        ``ValueError`` — shards must export the same catalog.
+
+        The operation is associative and order-insensitive up to float
+        summation order, which makes the parent-side fold over any
+        number of workers well defined.
+        """
+        for family in other.families():
+            mine = self._register(
+                MetricFamily(
+                    family.name,
+                    family.help,
+                    family.kind,
+                    family.label_names,
+                    family.buckets,
+                )
+            )
+            if mine.buckets != family.buckets:
+                raise ValueError(
+                    f"metric {family.name!r} merged with different "
+                    f"buckets: {mine.buckets} vs {family.buckets}"
+                )
+            for label_values, child in family.children():
+                own = mine.labels(*label_values)
+                if family.kind == "histogram":
+                    for i, count in enumerate(child.counts):
+                        own.counts[i] += count
+                    own.sum += child.sum
+                    own.count += child.count
+                else:
+                    own.value += child.value
+        return self
+
+    @classmethod
+    def merged(
+        cls, registries: Iterable["MetricsRegistry"]
+    ) -> "MetricsRegistry":
+        """A fresh registry holding the fold of ``registries`` in order."""
+        out = cls()
+        for registry in registries:
+            out.merge(registry)
+        return out
+
     @classmethod
     def from_json(cls, payload: dict) -> "MetricsRegistry":
         """Rebuild a registry from :meth:`to_json` output."""

@@ -13,6 +13,15 @@ from .engine import (
 )
 from .fastpath import FastPathIndex
 from .results import SimResult, TimeSeries
+from .sharded import (
+    ShardContext,
+    ShardedSimulator,
+    ShardTimeoutError,
+    ShardWorkerError,
+    flow_shard,
+    shard_seed,
+    split_trace,
+)
 
 __all__ = [
     "AdaptiveGigaflowSystem",
@@ -22,9 +31,16 @@ __all__ = [
     "HierarchySystem",
     "InstallCost",
     "MegaflowSystem",
+    "ShardContext",
+    "ShardTimeoutError",
+    "ShardWorkerError",
+    "ShardedSimulator",
     "SimConfig",
     "SimResult",
     "TimeSeries",
     "VSwitchSimulator",
+    "flow_shard",
+    "shard_seed",
+    "split_trace",
     "run_comparison",
 ]

@@ -1,0 +1,261 @@
+"""Batched/columnar inner loop for full-trace simulation runs.
+
+:func:`run_batched` is a drop-in replacement for
+:meth:`~repro.sim.engine.VSwitchSimulator.run_packets` when the input is
+a :class:`~repro.workload.pipebench.Trace` (whose packets live in numpy
+columns).  Instead of materialising one :class:`~repro.flow.packet.Packet`
+object per row, it decodes timestamp/flow-index columns in chunks of
+:data:`CHUNK_SIZE` rows (one ``ndarray.tolist()`` call each — far cheaper
+than per-element ``float()``/``int()`` coercion) and resolves flow keys
+through a pre-built pilot table.
+
+The win the sharded engine banks on is *cadence amortisation*: the
+streaming loop re-checks the idle-sweep and telemetry-snapshot deadlines
+on every packet, but those deadlines only matter for the chunk that
+straddles them.  Trace timestamps are sorted, so one comparison against
+the chunk's last timestamp decides whether the whole chunk can take a
+cadence-free tight loop or must fall back to the careful per-packet body.
+
+**Bit-identity contract** (pinned by ``tests/test_sharded.py``): every
+``SimResult`` field — counters, float accumulators, time series,
+telemetry summary — must be identical to the streaming loop's, because
+the sharded golden tests compare against the classic engine.  The
+careful loop below is a line-for-line copy of ``run_packets``'s body;
+keep the two in lockstep when touching either.
+"""
+
+from __future__ import annotations
+
+from ..metrics.cpu import CpuBreakdown
+from ..pipeline.traversal import Disposition
+from ..workload.pipebench import Trace
+from .results import SimResult, TimeSeries
+
+#: Rows decoded per ``tolist()`` call.  Large enough to amortise the
+#: numpy→list conversion and the per-chunk boundary test, small enough
+#: that a cadence boundary only drags one chunk onto the careful path.
+CHUNK_SIZE = 4096
+
+
+def run_batched(simulator, trace: Trace) -> SimResult:
+    """Run ``simulator`` over ``trace`` via the batched inner loop."""
+    config = simulator.config
+    system = simulator.system
+    cache = system.cache
+    pipeline = simulator.pipeline
+    slowpath = config.latency.slowpath
+    cpu = CpuBreakdown()
+    series = TimeSeries(config.window)
+    latency_sum = 0.0
+    miss_cost_sum = 0.0
+    peak_entries = 0
+    cache_probes = 0
+    max_idle = config.max_idle
+    sweep_interval = config.sweep_interval
+    hit_us = config.latency.hit_us
+    next_sweep = sweep_interval
+    tel, ctl, lookup, on_lookup, on_start = simulator._prepare_run()
+    next_snapshot = sweep_interval
+
+    times, flow_indices, _sizes = trace.columns()
+    # Pilot table: flow keys resolved once, indexed by column value.
+    flows = [pilot.flow for pilot in trace.pilots]
+    total = len(times)
+
+    # Hoisted bound methods — the attribute loads the streaming loop
+    # pays per packet are paid once per run here.
+    record = series.record
+    execute = pipeline.execute
+    pipeline_stats = pipeline.stats
+    install = system.install
+    entry_count = cache.entry_count
+    charge_pipeline = cpu.charge_pipeline
+    charge_partition = cpu.charge_partition
+    charge_rulegen = cpu.charge_rulegen
+    pipeline_us = slowpath.pipeline_us
+    partition_us = slowpath.partition_us
+    rulegen_us = slowpath.rulegen_us
+    controller_disp = Disposition.CONTROLLER
+
+    now = 0.0
+    pos = 0
+    while pos < total:
+        end = pos + CHUNK_SIZE
+        if end > total:
+            end = total
+        t_chunk = times[pos:end].tolist()
+        i_chunk = flow_indices[pos:end].tolist()
+        pos = end
+        # Timestamps are sorted (Trace invariant), so the chunk's last
+        # row bounds every row: one test decides whether any cadence
+        # deadline falls inside this chunk.
+        last = t_chunk[-1]
+        careful = (max_idle > 0 and last >= next_sweep) or (
+            tel is not None and last >= next_snapshot
+        )
+
+        if careful:
+            # Boundary chunk: the careful loop is a verbatim copy of
+            # VSwitchSimulator.run_packets' per-packet body (minus the
+            # Packet object) — keep in lockstep.
+            for now, index in zip(t_chunk, i_chunk):
+                flow = flows[index]
+                if max_idle > 0:
+                    while now >= next_sweep:
+                        evicted = cache.evict_idle(next_sweep, max_idle)
+                        if tel is not None:
+                            tel.on_sweep(next_sweep, evicted)
+                        next_sweep += sweep_interval
+                if tel is not None:
+                    tel.now = now
+                    while now >= next_snapshot:
+                        snapshot = tel.sample(cache, next_snapshot)
+                        if ctl is not None:
+                            ctl.on_sweep(next_snapshot, snapshot)
+                        next_snapshot += sweep_interval
+                    if on_start is not None:
+                        on_start(now, flow)
+
+                result = lookup(flow, now)
+                cache_probes += result.groups_probed
+                if on_lookup is not None:
+                    on_lookup(result, now, flow)
+                if result.hit:
+                    latency_sum += hit_us
+                    record(now, hit=True)
+                    continue
+
+                record(now, hit=False)
+                groups_before = pipeline_stats.groups_probed
+                traversal = execute(flow)
+                groups = pipeline_stats.groups_probed - groups_before
+                lookups = len(traversal)
+                charge_pipeline(lookups, groups)
+                miss_us = pipeline_us(lookups, groups)
+
+                if traversal.disposition != controller_disp:
+                    cost = install(traversal, pipeline.generation, now)
+                    if tel is not None:
+                        tel.on_install(
+                            now, lookups, cost.rules_generated,
+                            cost.rules_installed,
+                        )
+                    if cost.partition_cells:
+                        charge_partition(
+                            lookups,
+                            cost.partition_cells // max(lookups, 1),
+                        )
+                        miss_us += partition_us(
+                            lookups,
+                            cost.partition_cells // max(lookups, 1),
+                        )
+                    charge_rulegen(
+                        cost.rules_generated, cost.rules_installed
+                    )
+                    miss_us += rulegen_us(cost.rules_generated)
+                    if cost.rules_installed:
+                        entries = entry_count()
+                        if entries > peak_entries:
+                            peak_entries = entries
+
+                latency_sum += miss_us
+                miss_cost_sum += miss_us
+        elif tel is not None:
+            # Telemetry on, but no deadline inside the chunk: skip the
+            # cadence while-loops, keep the per-packet hooks (tel.now
+            # must track the packet clock — eviction/install events on
+            # the miss path are stamped with it).
+            for now, index in zip(t_chunk, i_chunk):
+                flow = flows[index]
+                tel.now = now
+                if on_start is not None:
+                    on_start(now, flow)
+                result = lookup(flow, now)
+                cache_probes += result.groups_probed
+                on_lookup(result, now, flow)
+                if result.hit:
+                    latency_sum += hit_us
+                    record(now, hit=True)
+                    continue
+
+                record(now, hit=False)
+                groups_before = pipeline_stats.groups_probed
+                traversal = execute(flow)
+                groups = pipeline_stats.groups_probed - groups_before
+                lookups = len(traversal)
+                charge_pipeline(lookups, groups)
+                miss_us = pipeline_us(lookups, groups)
+
+                if traversal.disposition != controller_disp:
+                    cost = install(traversal, pipeline.generation, now)
+                    tel.on_install(
+                        now, lookups, cost.rules_generated,
+                        cost.rules_installed,
+                    )
+                    if cost.partition_cells:
+                        charge_partition(
+                            lookups,
+                            cost.partition_cells // max(lookups, 1),
+                        )
+                        miss_us += partition_us(
+                            lookups,
+                            cost.partition_cells // max(lookups, 1),
+                        )
+                    charge_rulegen(
+                        cost.rules_generated, cost.rules_installed
+                    )
+                    miss_us += rulegen_us(cost.rules_generated)
+                    if cost.rules_installed:
+                        entries = entry_count()
+                        if entries > peak_entries:
+                            peak_entries = entries
+
+                latency_sum += miss_us
+                miss_cost_sum += miss_us
+        else:
+            # Tightest variant: no telemetry, no sweep deadline in this
+            # chunk — the loop body is lookup + series bookkeeping.
+            for now, index in zip(t_chunk, i_chunk):
+                flow = flows[index]
+                result = lookup(flow, now)
+                cache_probes += result.groups_probed
+                if result.hit:
+                    latency_sum += hit_us
+                    record(now, hit=True)
+                    continue
+
+                record(now, hit=False)
+                groups_before = pipeline_stats.groups_probed
+                traversal = execute(flow)
+                groups = pipeline_stats.groups_probed - groups_before
+                lookups = len(traversal)
+                charge_pipeline(lookups, groups)
+                miss_us = pipeline_us(lookups, groups)
+
+                if traversal.disposition != controller_disp:
+                    cost = install(traversal, pipeline.generation, now)
+                    if cost.partition_cells:
+                        charge_partition(
+                            lookups,
+                            cost.partition_cells // max(lookups, 1),
+                        )
+                        miss_us += partition_us(
+                            lookups,
+                            cost.partition_cells // max(lookups, 1),
+                        )
+                    charge_rulegen(
+                        cost.rules_generated, cost.rules_installed
+                    )
+                    miss_us += rulegen_us(cost.rules_generated)
+                    if cost.rules_installed:
+                        entries = entry_count()
+                        if entries > peak_entries:
+                            peak_entries = entries
+
+                latency_sum += miss_us
+                miss_cost_sum += miss_us
+
+    return simulator._finish_run(
+        tel, ctl, now, total, peak_entries, cache_probes,
+        latency_sum, miss_cost_sum, cpu, series,
+    )

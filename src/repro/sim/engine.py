@@ -240,6 +240,21 @@ class SimConfig:
             this knob *does* steer the simulation: the controller
             mutates live cache knobs, so results may (intentionally)
             differ from a controller-off run.
+        batch: Drive full-trace runs through the batched/columnar inner
+            loop (:mod:`repro.sim.batch`): packet timestamps and flow
+            indices are decoded from the trace's numpy columns in
+            chunks, and sweep/telemetry checks are amortised per chunk
+            instead of per packet.  Metric-faithful: every
+            :class:`SimResult` field is bit-identical either way
+            (``tests/test_sharded.py`` pins it differentially).
+            Ignored for :meth:`VSwitchSimulator.run_packets` callers,
+            which stream arbitrary packet iterables.
+        shards: Worker count for :class:`~repro.sim.sharded.ShardedSimulator`
+            (1 = the classic single-process engine).  Plain
+            :class:`VSwitchSimulator` ignores it; the sharded driver
+            hash-partitions flows across this many processes, each
+            owning its own cache/fast-path/controller, and merges the
+            per-shard results losslessly.
     """
 
     max_idle: float = 0.0
@@ -250,6 +265,8 @@ class SimConfig:
     telemetry: Optional[Telemetry] = None
     eviction: Optional[str] = None
     controller: object = None
+    batch: bool = True
+    shards: int = 1
 
 
 class VSwitchSimulator:
@@ -272,27 +289,25 @@ class VSwitchSimulator:
         self.controller = None
 
     def run(self, trace: Trace) -> SimResult:
+        if self.config.batch and hasattr(trace, "columns"):
+            # Lazy import: batch.py imports from this module.
+            from .batch import run_batched
+
+            return run_batched(self, trace)
         return self.run_packets(trace.packets(), len(trace))
 
-    def run_packets(
-        self, packets: Iterable[Packet], expected: Optional[int] = None
-    ) -> SimResult:
+    def _prepare_run(self):
+        """Per-run setup shared by the streaming and batched loops.
+
+        Installs the eviction policy, wires telemetry + controller,
+        builds the fast-path memo, and returns the hoisted hot-path
+        hooks ``(tel, ctl, lookup, on_lookup, on_start)``.  Kept in
+        lockstep with :mod:`repro.sim.batch` — any new knob consumed
+        here is automatically honoured by both loops.
+        """
         config = self.config
         system = self.system
         cache = system.cache
-        pipeline = self.pipeline
-        slowpath = config.latency.slowpath
-        cpu = CpuBreakdown()
-        series = TimeSeries(config.window)
-        latency_sum = 0.0
-        miss_cost_sum = 0.0
-        packet_count = 0
-        peak_entries = 0
-        cache_probes = 0
-        max_idle = config.max_idle
-        sweep_interval = config.sweep_interval
-        hit_us = config.latency.hit_us
-        next_sweep = sweep_interval
         if config.eviction is not None:
             cache.set_eviction_policy(config.eviction)
         tel = config.telemetry
@@ -318,7 +333,6 @@ class VSwitchSimulator:
         if ctl is not None:
             ctl.attach(cache, tel)
         self.controller = ctl
-        next_snapshot = sweep_interval
         self.fastpath = (
             FastPathIndex(cache, telemetry=tel)
             if config.fast_path
@@ -337,6 +351,73 @@ class VSwitchSimulator:
             if tel is not None and tel.tracer.enabled
             else None
         )
+        return tel, ctl, lookup, on_lookup, on_start
+
+    def _finish_run(
+        self,
+        tel,
+        ctl,
+        now: float,
+        packet_count: int,
+        peak_entries: int,
+        cache_probes: int,
+        latency_sum: float,
+        miss_cost_sum: float,
+        cpu: CpuBreakdown,
+        series: TimeSeries,
+    ) -> SimResult:
+        """Finalize telemetry and assemble the :class:`SimResult`."""
+        system = self.system
+        cache = system.cache
+        telemetry_summary = None
+        if tel is not None:
+            tel.finalize(cache, now, self.fastpath)
+            telemetry_summary = tel.summary()
+            if ctl is not None:
+                telemetry_summary["controller"] = ctl.summary()
+
+        stats = cache.stats.snapshot()
+        misses = stats.misses
+        return SimResult(
+            system=system.name,
+            stats=stats,
+            packets=packet_count,
+            entry_count=cache.entry_count(),
+            peak_entries=max(peak_entries, cache.entry_count()),
+            capacity=cache.capacity_total(),
+            avg_latency_us=(
+                latency_sum / packet_count if packet_count else 0.0
+            ),
+            avg_miss_cost_us=miss_cost_sum / misses if misses else 0.0,
+            cpu=cpu,
+            series=series,
+            sharing=system.sharing(),
+            coverage=system.coverage(),
+            cache_probes=cache_probes,
+            telemetry=telemetry_summary,
+        )
+
+    def run_packets(
+        self, packets: Iterable[Packet], expected: Optional[int] = None
+    ) -> SimResult:
+        config = self.config
+        system = self.system
+        cache = system.cache
+        pipeline = self.pipeline
+        slowpath = config.latency.slowpath
+        cpu = CpuBreakdown()
+        series = TimeSeries(config.window)
+        latency_sum = 0.0
+        miss_cost_sum = 0.0
+        packet_count = 0
+        peak_entries = 0
+        cache_probes = 0
+        max_idle = config.max_idle
+        sweep_interval = config.sweep_interval
+        hit_us = config.latency.hit_us
+        next_sweep = sweep_interval
+        tel, ctl, lookup, on_lookup, on_start = self._prepare_run()
+        next_snapshot = sweep_interval
 
         now = 0.0
         for packet in packets:
@@ -406,32 +487,9 @@ class VSwitchSimulator:
             latency_sum += miss_us
             miss_cost_sum += miss_us
 
-        telemetry_summary = None
-        if tel is not None:
-            tel.finalize(cache, now, self.fastpath)
-            telemetry_summary = tel.summary()
-            if ctl is not None:
-                telemetry_summary["controller"] = ctl.summary()
-
-        stats = cache.stats.snapshot()
-        misses = stats.misses
-        return SimResult(
-            system=system.name,
-            stats=stats,
-            packets=packet_count,
-            entry_count=cache.entry_count(),
-            peak_entries=max(peak_entries, cache.entry_count()),
-            capacity=cache.capacity_total(),
-            avg_latency_us=(
-                latency_sum / packet_count if packet_count else 0.0
-            ),
-            avg_miss_cost_us=miss_cost_sum / misses if misses else 0.0,
-            cpu=cpu,
-            series=series,
-            sharing=system.sharing(),
-            coverage=system.coverage(),
-            cache_probes=cache_probes,
-            telemetry=telemetry_summary,
+        return self._finish_run(
+            tel, ctl, now, packet_count, peak_entries, cache_probes,
+            latency_sum, miss_cost_sum, cpu, series,
         )
 
 

@@ -37,6 +37,25 @@ class TimeSeries:
             out.append((bucket * self.window, hits / total if total else 0.0))
         return out
 
+    def merge_from(self, other: "TimeSeries") -> "TimeSeries":
+        """Interleave another series into this one (returns ``self``).
+
+        Buckets are summed pairwise, so the merged series reads as if
+        both packet streams had been recorded by one observer — the
+        sharded engine's per-worker series fold.  Windows must match;
+        there is no way to re-bucket whole-window counts.
+        """
+        if other.window != self.window:
+            raise ValueError(
+                f"cannot merge series with windows "
+                f"{self.window} and {other.window}"
+            )
+        for bucket, count in other._hits.items():
+            self._hits[bucket] += count
+        for bucket, count in other._misses.items():
+            self._misses[bucket] += count
+        return self
+
     def hit_rate_between(self, start: float, stop: float) -> float:
         """Aggregate hit rate over the half-open time span ``[start, stop)``.
 
@@ -102,6 +121,106 @@ class SimResult:
     coverage: Optional[int] = None
     cache_probes: int = 0
     telemetry: Optional[dict] = None
+
+    @staticmethod
+    def merge(results: "List[SimResult]") -> "SimResult":
+        """Lossless aggregate of per-shard results (sharded engine).
+
+        Semantics, pinned by ``tests/test_sharded.py``:
+
+        * counters (stats, packets, cpu, cache_probes, coverage,
+          entry/peak counts, capacity) **sum** — each shard owns a
+          disjoint slice of the flow space, so its counters are disjoint
+          contributions;
+        * ``avg_latency_us`` / ``avg_miss_cost_us`` recombine as
+          packet-/miss-weighted means (exactly the averages a single
+          observer of the interleaved stream would have computed);
+        * ``series`` interleaves via :meth:`TimeSeries.merge_from`;
+        * ``sharing`` recombines from per-shard insertion-weighted
+          reuse events (``sharing = 1 + events / insertions``);
+        * ``telemetry`` summaries merge via
+          :func:`repro.obs.telemetry.merge_telemetry_summaries`, with
+          the occupancy ratio recomputed from the merged entry counts.
+
+        A single-element merge returns that result unchanged, so a
+        one-shard run is bit-identical to the plain engine.
+
+        ``peak_entries`` is the only lossy field: per-shard peaks need
+        not be simultaneous, so their sum is an upper bound on the true
+        aggregate peak (see ``docs/sharding.md``).
+        """
+        if not results:
+            raise ValueError("cannot merge zero results")
+        if len(results) == 1:
+            return results[0]
+        system = results[0].system
+        if any(r.system != system for r in results):
+            raise ValueError(
+                f"cannot merge results from different systems: "
+                f"{sorted({r.system for r in results})}"
+            )
+        stats = results[0].stats.snapshot()
+        for r in results[1:]:
+            stats = stats.merged_with(r.stats)
+        packets = sum(r.packets for r in results)
+        misses = sum(r.stats.misses for r in results)
+        series = TimeSeries(results[0].series.window)
+        for r in results:
+            series.merge_from(r.series)
+        cpu = results[0].cpu
+        for r in results[1:]:
+            cpu = cpu.merged_with(r.cpu)
+        # sharing = 1 + events/insertions per shard; recombine exactly
+        # from the implied event counts.
+        share_events = share_installs = 0.0
+        sharing: Optional[float] = None
+        for r in results:
+            if r.sharing is not None and r.stats.insertions:
+                share_events += (r.sharing - 1.0) * r.stats.insertions
+                share_installs += r.stats.insertions
+        if any(r.sharing is not None for r in results):
+            sharing = (
+                1.0 + share_events / share_installs
+                if share_installs
+                else 0.0
+            )
+        coverages = [r.coverage for r in results if r.coverage is not None]
+        entry_count = sum(r.entry_count for r in results)
+        capacity = sum(r.capacity for r in results)
+        telemetry = None
+        summaries = [r.telemetry for r in results if r.telemetry]
+        if summaries:
+            from ..obs.telemetry import merge_telemetry_summaries
+
+            telemetry = merge_telemetry_summaries(summaries)
+            telemetry["occupancy"] = (
+                entry_count / capacity if capacity else 0.0
+            )
+        return SimResult(
+            system=system,
+            stats=stats,
+            packets=packets,
+            entry_count=entry_count,
+            peak_entries=sum(r.peak_entries for r in results),
+            capacity=capacity,
+            avg_latency_us=(
+                sum(r.avg_latency_us * r.packets for r in results) / packets
+                if packets
+                else 0.0
+            ),
+            avg_miss_cost_us=(
+                sum(r.avg_miss_cost_us * r.stats.misses for r in results)
+                / misses
+                if misses
+                else 0.0
+            ),
+            cpu=cpu,
+            series=series,
+            sharing=sharing,
+            coverage=sum(coverages) if coverages else None,
+            cache_probes=sum(r.cache_probes for r in results),
+            telemetry=telemetry,
+        )
 
     @property
     def hit_rate(self) -> float:

@@ -253,6 +253,30 @@ class Trace:
                 flow_id=int(index),
             )
 
+    def columns(self):
+        """The raw columnar storage ``(times, flow_indices, sizes)``.
+
+        Exposed for the batched simulator loop (:mod:`repro.sim.batch`)
+        and the sharded trace splitter — callers must treat the arrays
+        as read-only.
+        """
+        return self._times, self._flow_indices, self._sizes
+
+    def subset(self, mask: np.ndarray) -> "Trace":
+        """Row-filtered copy sharing this trace's pilot table.
+
+        ``mask`` is a boolean array over packets; flow indices keep
+        their meaning because the pilots list is reused, so per-shard
+        traces stay directly comparable with the parent.  Timestamp
+        order is preserved (filtering a sorted array keeps it sorted).
+        """
+        return Trace(
+            self.pilots,
+            self._times[mask],
+            self._flow_indices[mask],
+            self._sizes[mask],
+        )
+
     def merged_with(self, other: "Trace") -> "Trace":
         """Interleave two traces by timestamp (Fig. 18's dynamic arrival).
 

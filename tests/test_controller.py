@@ -35,6 +35,7 @@ from repro.core.adaptive import (
 from repro.core.controller import (
     KNOB_MODE,
     KNOB_POLICY,
+    KNOB_PROBE,
     AdaptiveController,
     ControllerConfig,
 )
@@ -232,7 +233,10 @@ class TestControllerDecisions:
         # ...two are.
         _sweep_with_sharing(cache, controller, 40, 30, now=4.0)
         assert not cache.megaflow_mode
-        assert len(controller.transitions) == 2
+        mode_moves = [
+            t for t in controller.transitions if t["knob"] == KNOB_MODE
+        ]
+        assert len(mode_moves) == 2
 
     def test_policy_knob_follows_sharing(self):
         cache, controller = _controlled_cache()
@@ -297,6 +301,105 @@ class TestControllerDecisions:
         signals = controller.on_sweep(1.0)
         assert controller.transitions == []
         assert signals["sharing"] is None
+
+
+# ---------------------------------------------------------------------------
+# Probe fraction from mode residency
+
+
+class TestProbeFractionRamp:
+    """The §7 sampling rate follows Megaflow-mode residency: fresh
+    switches probe at ``probe_floor``, stale ones ramp linearly to
+    ``probe_ceiling`` over ``probe_ramp`` seconds of residency."""
+
+    def _enter_megaflow(self, cache, controller, entered_at=2.0):
+        for now in (entered_at - 1.0, entered_at):
+            _sweep_with_sharing(cache, controller, 40, 0, now=now)
+        assert cache.megaflow_mode
+        return entered_at
+
+    def test_fresh_switch_starts_at_floor(self):
+        cache, controller = _controlled_cache(manage_policy=False)
+        self._enter_megaflow(cache, controller)
+        assert cache.governor.probe_fraction == pytest.approx(0.05)
+        # ... and the baseline reset rides the mode transition rather
+        # than logging its own knob change.
+        knobs = [t["knob"] for t in controller.transitions]
+        assert knobs == [KNOB_MODE]
+
+    def test_fraction_ramps_linearly_with_residency(self):
+        cache, controller = _controlled_cache(manage_policy=False)
+        entered = self._enter_megaflow(cache, controller)
+        # Half the ramp: floor + (ceiling - floor) / 2.
+        _sweep_with_sharing(cache, controller, 40, 0, now=entered + 30.0)
+        assert cache.governor.probe_fraction == pytest.approx(0.275)
+        # Saturates at the ceiling past the ramp.
+        _sweep_with_sharing(cache, controller, 40, 0, now=entered + 500.0)
+        assert cache.governor.probe_fraction == pytest.approx(0.5)
+        ramp_moves = [
+            t for t in controller.transitions if t["knob"] == KNOB_PROBE
+        ]
+        assert [t["to"] for t in ramp_moves] == [0.275, 0.5]
+        assert all(
+            t["from"] < t["to"] for t in ramp_moves
+        )
+
+    def test_leaving_megaflow_resets_the_ramp(self):
+        cache, controller = _controlled_cache(manage_policy=False)
+        entered = self._enter_megaflow(cache, controller)
+        _sweep_with_sharing(cache, controller, 40, 0, now=entered + 500.0)
+        assert cache.governor.probe_fraction == pytest.approx(0.5)
+        # Rich sharing for two sweeps: back to disjoint mode.
+        for now in (entered + 501.0, entered + 502.0):
+            _sweep_with_sharing(cache, controller, 40, 30, now=now)
+        assert not cache.megaflow_mode
+        # Re-entering restarts from the floor, not the stale ceiling.
+        for now in (entered + 503.0, entered + 504.0):
+            _sweep_with_sharing(cache, controller, 40, 0, now=now)
+        assert cache.megaflow_mode
+        assert cache.governor.probe_fraction == pytest.approx(0.05)
+
+    def test_manage_probe_off_keeps_configured_fraction(self):
+        cache, controller = _controlled_cache(
+            manage_policy=False, manage_probe=False
+        )
+        entered = self._enter_megaflow(cache, controller)
+        _sweep_with_sharing(cache, controller, 40, 0, now=entered + 500.0)
+        assert cache.governor.probe_fraction == pytest.approx(
+            cache.governor.config.probe_fraction
+        )
+
+    def test_realised_probe_share_tracks_live_fraction(self):
+        """The integer cadence realises a retuned fraction *exactly*:
+        400 Megaflow-mode installs at 0.25 yield 100 probes."""
+        governor = ModeGovernor(AdaptiveConfig(probe_fraction=0.1))
+        governor.set_mode(True)
+        assert governor.next_install_partitions()  # prompt probe
+        assert governor.set_probe_fraction(0.25)
+        probes = sum(
+            governor.next_install_partitions() for _ in range(400)
+        )
+        assert probes == 100
+
+    def test_set_probe_fraction_contract(self):
+        governor = ModeGovernor(AdaptiveConfig(probe_fraction=0.1))
+        assert not governor.set_probe_fraction(0.1)  # unchanged: no-op
+        with pytest.raises(ValueError):
+            governor.set_probe_fraction(0.0)
+        with pytest.raises(ValueError):
+            governor.set_probe_fraction(1.5)
+        assert governor.set_probe_fraction(0.2)
+        assert governor.probe_fraction == pytest.approx(0.2)
+        # The shared AdaptiveConfig is never mutated (aliasing hazard).
+        assert governor.config.probe_fraction == pytest.approx(0.1)
+
+    def test_probe_config_validation(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(probe_floor=0.6, probe_ceiling=0.5)
+        with pytest.raises(ValueError):
+            ControllerConfig(probe_floor=0.0)
+        with pytest.raises(ValueError):
+            ControllerConfig(probe_ramp=0.0)
 
 
 # ---------------------------------------------------------------------------

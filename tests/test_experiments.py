@@ -129,11 +129,29 @@ class TestSec636:
 
 class TestFig19:
     def test_per_core_scaling(self):
-        result = core_scaling("PSC", cores=(1, 2, 4), scale=TINY)
-        mf = result.megaflow_by_cores
-        assert mf[2] == mf[1] / 2
-        gf = result.gigaflow_by_cores
-        assert all(gf[n] <= mf[n] for n in (1, 2, 4))
+        # Inline mode keeps the unit test single-process; the benchmark
+        # variant exercises real worker processes.
+        result = core_scaling(
+            "PSC", cores=(1, 2, 4), scale=TINY, mode="inline"
+        )
+        mf, gf = result.megaflow, result.gigaflow
+        for n in (2, 4):
+            # Empirical per-core load declines with every doubling and
+            # the analytic model divides the single-core baseline.
+            assert mf[n].per_core_misses < mf[n // 2].per_core_misses
+            assert gf[n].per_core_misses < gf[n // 2].per_core_misses
+            assert mf[n].analytic_per_core == mf[1].per_core_misses / n
+            # Megaflow misses spread RSS-style, close to 1/n; Gigaflow
+            # loses cross-shard sub-traversal sharing, so it lands at
+            # or above its idealised prediction.
+            assert mf[n].analytic_error < 0.35
+            assert gf[n].per_core_misses >= gf[n].analytic_per_core
+        assert all(
+            gf[n].per_core_misses <= mf[n].per_core_misses
+            for n in (1, 2, 4)
+        )
+        # Legacy accessors stay live for the table-driven reports.
+        assert result.megaflow_by_cores[1] == mf[1].per_core_misses
 
 
 class TestFig13:

@@ -1,0 +1,451 @@
+"""Tests for the sharded multi-worker engine and the batched inner loop.
+
+The contracts pinned here, in order:
+
+* **Batch fidelity** — the batched/columnar loop produces a
+  bit-identical :class:`~repro.sim.results.SimResult` to the streaming
+  per-packet loop, across systems and across every cadence-bearing
+  config (idle sweeps, telemetry, controller).
+* **Shard assignment** — flows map to shards stably, every packet of a
+  flow lands on one shard, and the per-shard traces partition the
+  parent exactly.
+* **Single-shard golden** — ``shards=1`` through
+  :class:`~repro.sim.sharded.ShardedSimulator` is bit-identical to the
+  classic :class:`~repro.sim.engine.VSwitchSimulator`.
+* **Inline ≡ processes** — real worker processes produce exactly the
+  merged result the sequential in-process protocol does, run after run
+  (determinism), with lossless conservation against the per-shard parts.
+* **Loud failure** — a raising worker, a hard-crashing worker, and a
+  wall-clock overrun each surface with the shard id and the partial
+  results that did complete.
+"""
+
+import dataclasses
+import os
+import time
+
+import pytest
+
+from test_obs import result_fingerprint
+from repro.obs import Telemetry
+from repro.pipeline import PSC
+from repro.sim import (
+    GigaflowSystem,
+    MegaflowSystem,
+    ShardTimeoutError,
+    ShardWorkerError,
+    ShardedSimulator,
+    SimConfig,
+    SimResult,
+    TimeSeries,
+    VSwitchSimulator,
+    flow_shard,
+    shard_seed,
+    split_trace,
+)
+from repro.workload import TraceProfile, build_workload
+
+N_FLOWS = 220
+
+
+def small_workload(seed=11):
+    return build_workload(PSC, n_flows=N_FLOWS, locality="high", seed=seed)
+
+
+def small_trace(workload, seed=3):
+    return workload.trace(
+        profile=TraceProfile(mean_flow_size=24.0, duration=6.0), seed=seed
+    )
+
+
+def gigaflow_factory(context):
+    return GigaflowSystem(
+        num_tables=4, table_capacity=max(8, 400 // context.shards)
+    )
+
+
+def megaflow_factory(context):
+    return MegaflowSystem(capacity=max(8, 400 // context.shards))
+
+
+def sim_config(**overrides):
+    base = dict(max_idle=2.0, sweep_interval=1.0, fast_path=True)
+    base.update(overrides)
+    return SimConfig(**base)
+
+
+# ---------------------------------------------------------------------------
+# Batched loop fidelity
+
+
+BATCH_CONFIGS = {
+    "plain": dict(max_idle=0.0),
+    "sweeps": dict(max_idle=2.0),
+    "telemetry": dict(max_idle=0.0, telemetry=True),
+    "sweeps+telemetry": dict(max_idle=2.0, telemetry=True),
+    "controller": dict(max_idle=2.0, controller=True),
+    "no-fastpath": dict(max_idle=2.0, fast_path=False),
+}
+
+
+class TestBatchedLoopFidelity:
+    """run(trace) defaults to the batched loop; these differentials
+    prove it is observably indistinguishable from the streaming loop."""
+
+    @pytest.mark.parametrize("name", sorted(BATCH_CONFIGS))
+    @pytest.mark.parametrize("system_factory", [
+        gigaflow_factory, megaflow_factory,
+    ], ids=["gigaflow", "megaflow"])
+    def test_batched_equals_streaming(self, name, system_factory):
+        fingerprints = []
+        telemetries = []
+        for batch in (True, False):
+            overrides = dict(BATCH_CONFIGS[name])
+            if overrides.pop("telemetry", False):
+                overrides["telemetry"] = Telemetry()
+            workload = small_workload()
+            config = sim_config(batch=batch, **overrides)
+            simulator = VSwitchSimulator(
+                workload.pipeline,
+                system_factory(_context(shards=1)),
+                config,
+            )
+            result = simulator.run(small_trace(workload))
+            fingerprints.append(result_fingerprint(result))
+            telemetries.append(result.telemetry)
+        assert fingerprints[0] == fingerprints[1]
+        assert telemetries[0] == telemetries[1]
+
+    def test_run_packets_ignores_batch_flag(self):
+        # Streaming callers keep working when batch=True (the default):
+        # run_packets has no columns to batch over.
+        workload = small_workload()
+        trace = small_trace(workload)
+        simulator = VSwitchSimulator(
+            workload.pipeline, gigaflow_factory(_context(1)), sim_config()
+        )
+        streamed = simulator.run_packets(trace.packets(), len(trace))
+        assert streamed.packets == len(trace)
+
+
+def _context(shards, shard_id=0, seed=0):
+    from repro.sim import ShardContext
+
+    return ShardContext(
+        shard_id=shard_id, shards=shards, seed=shard_seed(seed, shard_id)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shard assignment and trace splitting
+
+
+class TestShardAssignment:
+    def test_flow_shard_is_stable_and_in_range(self):
+        workload = small_workload()
+        for pilot in workload.pilots:
+            sid = flow_shard(pilot.flow, 4)
+            assert 0 <= sid < 4
+            assert flow_shard(pilot.flow, 4) == sid
+
+    def test_all_shards_used(self):
+        workload = small_workload()
+        used = {flow_shard(p.flow, 4) for p in workload.pilots}
+        assert used == {0, 1, 2, 3}
+
+    def test_split_partitions_exactly(self):
+        workload = small_workload()
+        trace = small_trace(workload)
+        parts = split_trace(trace, 4)
+        assert len(parts) == 4
+        assert sum(len(part) for part in parts) == len(trace)
+        # Flow-consistency: every packet of a flow is on its shard.
+        for sid, part in enumerate(parts):
+            _times, indices, _sizes = part.columns()
+            for index in set(indices.tolist()):
+                assert flow_shard(trace.pilots[index].flow, 4) == sid
+
+    def test_split_preserves_time_order(self):
+        workload = small_workload()
+        trace = small_trace(workload)
+        for part in split_trace(trace, 3):
+            times, _indices, _sizes = part.columns()
+            times = times.tolist()
+            assert times == sorted(times)
+
+    def test_single_shard_split_is_the_trace(self):
+        workload = small_workload()
+        trace = small_trace(workload)
+        assert split_trace(trace, 1) == [trace]
+
+    def test_shard_seed_is_deterministic_and_distinct(self):
+        seeds = [shard_seed(7, sid) for sid in range(8)]
+        assert seeds == [shard_seed(7, sid) for sid in range(8)]
+        assert len(set(seeds)) == 8
+        assert seeds != [shard_seed(8, sid) for sid in range(8)]
+
+
+# ---------------------------------------------------------------------------
+# Single-shard golden: sharded == classic engine, bit for bit
+
+
+class TestSingleShardGolden:
+    def test_shards_1_bit_identical_to_classic_engine(self):
+        classic_workload = small_workload()
+        classic = VSwitchSimulator(
+            classic_workload.pipeline,
+            gigaflow_factory(_context(1)),
+            sim_config(telemetry=Telemetry()),
+        ).run(small_trace(classic_workload))
+
+        sharded_workload = small_workload()
+        driver = ShardedSimulator(
+            sharded_workload.pipeline,
+            gigaflow_factory,
+            sim_config(shards=1, telemetry=Telemetry()),
+        )
+        sharded = driver.run(small_trace(sharded_workload))
+
+        assert result_fingerprint(sharded) == result_fingerprint(classic)
+        assert sharded.telemetry == classic.telemetry
+        assert driver.registry is not None
+        assert len(driver.shard_results) == 1
+        assert driver.shard_timings[0]["packets"] == sharded.packets
+
+
+# ---------------------------------------------------------------------------
+# Multi-shard runs: inline ≡ processes, conservation, determinism
+
+
+def _run_sharded(mode, shards=2, telemetry=True, seed=0, workload_seed=11):
+    workload = small_workload(seed=workload_seed)
+    config = sim_config(
+        shards=shards,
+        telemetry=Telemetry() if telemetry else None,
+    )
+    driver = ShardedSimulator(
+        workload.pipeline,
+        gigaflow_factory,
+        config,
+        seed=seed,
+        mode=mode,
+        timeout=120.0,
+    )
+    return driver, driver.run(small_trace(workload))
+
+
+class TestShardedRuns:
+    def test_processes_equal_inline(self):
+        inline_driver, inline = _run_sharded("inline")
+        proc_driver, proc = _run_sharded("processes")
+        assert result_fingerprint(proc) == result_fingerprint(inline)
+        assert proc.telemetry == inline.telemetry
+        assert (
+            proc_driver.registry.to_prometheus()
+            == inline_driver.registry.to_prometheus()
+        )
+
+    def test_processes_are_deterministic(self):
+        _, first = _run_sharded("processes")
+        _, second = _run_sharded("processes")
+        assert result_fingerprint(first) == result_fingerprint(second)
+        assert first.telemetry == second.telemetry
+
+    def test_merge_conserves_shard_counters(self):
+        driver, merged = _run_sharded("processes", shards=4)
+        parts = driver.shard_results
+        assert len(parts) == 4
+        assert merged.packets == sum(r.packets for r in parts)
+        assert merged.stats.hits == sum(r.stats.hits for r in parts)
+        assert merged.stats.misses == sum(r.stats.misses for r in parts)
+        assert merged.stats.insertions == sum(
+            r.stats.insertions for r in parts
+        )
+        assert merged.stats.evictions == sum(
+            r.stats.evictions for r in parts
+        )
+        assert merged.cache_probes == sum(r.cache_probes for r in parts)
+        assert merged.capacity == sum(r.capacity for r in parts)
+        assert merged.telemetry["shards"] == 4
+        # Occupancy is recomputed from the merged entry counts, not
+        # averaged from per-shard ratios.
+        assert merged.telemetry["occupancy"] == pytest.approx(
+            merged.entry_count / merged.capacity
+        )
+
+    def test_merged_equals_equivalent_partitioned_single_run(self):
+        """The merged result must equal running each shard's slice
+        through the classic engine and merging by hand — sharding adds
+        parallelism, never different simulation semantics."""
+        driver, merged = _run_sharded("processes", shards=2)
+        workload = small_workload()
+        trace = small_trace(workload)
+        by_hand = []
+        for sid, part in enumerate(split_trace(trace, 2)):
+            simulator = VSwitchSimulator(
+                workload.pipeline,
+                gigaflow_factory(_context(2, sid)),
+                sim_config(telemetry=Telemetry()),
+            )
+            by_hand.append(simulator.run(part))
+        manual = SimResult.merge(by_hand)
+        assert result_fingerprint(merged) == result_fingerprint(manual)
+
+    def test_timings_record_every_shard(self):
+        driver, _merged = _run_sharded("processes", shards=2)
+        assert [t["shard"] for t in driver.shard_timings] == [0, 1]
+        for timing in driver.shard_timings:
+            assert timing["cpu_seconds"] >= 0.0
+            assert timing["wall_seconds"] > 0.0
+
+    def test_controller_config_passes_through(self):
+        workload = small_workload()
+        driver = ShardedSimulator(
+            workload.pipeline,
+            gigaflow_factory,
+            sim_config(shards=2, controller=True),
+            mode="inline",
+        )
+        result = driver.run(small_trace(workload))
+        controller = result.telemetry["controller"]
+        assert controller["sweeps"] > 0
+        assert len(controller["per_shard_state"]) == 2
+
+    def test_controller_instance_rejected_for_multi_shard(self):
+        from repro.core.controller import AdaptiveController
+
+        workload = small_workload()
+        driver = ShardedSimulator(
+            workload.pipeline,
+            gigaflow_factory,
+            sim_config(shards=2, controller=AdaptiveController()),
+            mode="inline",
+        )
+        with pytest.raises(ValueError, match="AdaptiveController"):
+            driver.run(small_trace(workload))
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            ShardedSimulator(None, gigaflow_factory, mode="threads")
+
+
+# ---------------------------------------------------------------------------
+# Loud failure: crashes, exceptions, timeouts
+
+
+def _failing_factory(context):
+    if context.shard_id == 1:
+        raise RuntimeError("boom in shard 1")
+    return gigaflow_factory(context)
+
+
+def _exiting_factory(context):
+    if context.shard_id == 1:
+        os._exit(13)
+    return gigaflow_factory(context)
+
+
+def _sleeping_factory(context):
+    if context.shard_id == 1:
+        time.sleep(60.0)
+    return gigaflow_factory(context)
+
+
+class TestWorkerFailures:
+    def _driver(self, factory, timeout=60.0):
+        workload = small_workload()
+        driver = ShardedSimulator(
+            workload.pipeline,
+            factory,
+            sim_config(shards=2),
+            mode="processes",
+            timeout=timeout,
+        )
+        return driver, small_trace(workload)
+
+    def test_worker_exception_surfaces_shard_id(self):
+        driver, trace = self._driver(_failing_factory)
+        with pytest.raises(ShardWorkerError) as excinfo:
+            driver.run(trace)
+        assert excinfo.value.shard_id == 1
+        assert "boom in shard 1" in str(excinfo.value)
+
+    def test_hard_crash_is_detected_not_hung(self):
+        driver, trace = self._driver(_exiting_factory)
+        start = time.monotonic()
+        with pytest.raises(ShardWorkerError) as excinfo:
+            driver.run(trace)
+        assert excinfo.value.shard_id == 1
+        assert "exit code" in str(excinfo.value)
+        # Detection is prompt (liveness polling), not a timeout path.
+        assert time.monotonic() - start < 30.0
+
+    def test_crash_error_carries_partial_results(self):
+        driver, trace = self._driver(_failing_factory)
+        with pytest.raises(ShardWorkerError) as excinfo:
+            driver.run(trace)
+        partial = excinfo.value.partial
+        # Shard 0 may or may not have finished before the error won the
+        # race; whatever did finish must be well-formed SimResults.
+        for sid, result in partial.items():
+            assert sid != 1
+            assert result.packets > 0
+
+    def test_timeout_raises_with_pending_shards(self):
+        driver, trace = self._driver(_sleeping_factory, timeout=3.0)
+        with pytest.raises(ShardTimeoutError) as excinfo:
+            driver.run(trace)
+        assert 1 in excinfo.value.pending
+
+
+# ---------------------------------------------------------------------------
+# SimResult.merge unit semantics
+
+
+class TestSimResultMerge:
+    def _result(self, **overrides):
+        workload = small_workload()
+        simulator = VSwitchSimulator(
+            workload.pipeline, gigaflow_factory(_context(1)), sim_config()
+        )
+        return simulator.run(small_trace(workload))
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            SimResult.merge([])
+
+    def test_merge_single_returns_identity(self):
+        result = self._result()
+        assert SimResult.merge([result]) is result
+
+    def test_merge_mixed_systems_raises(self):
+        result = self._result()
+        other = dataclasses.replace(result, system="megaflow")
+        with pytest.raises(ValueError, match="different systems"):
+            SimResult.merge([result, other])
+
+    def test_series_window_mismatch_raises(self):
+        narrow = TimeSeries(window=5.0)
+        wide = TimeSeries(window=10.0)
+        with pytest.raises(ValueError, match="window"):
+            wide.merge_from(narrow)
+
+    def test_weighted_means_recombine(self):
+        result = self._result()
+        merged = SimResult.merge([result, result])
+        assert merged.packets == 2 * result.packets
+        assert merged.avg_latency_us == pytest.approx(
+            result.avg_latency_us
+        )
+        assert merged.avg_miss_cost_us == pytest.approx(
+            result.avg_miss_cost_us
+        )
+        assert merged.sharing == pytest.approx(result.sharing)
+        assert merged.hit_rate == pytest.approx(result.hit_rate)
+
+    def test_series_interleaves(self):
+        result = self._result()
+        merged = SimResult.merge([result, result])
+        own = dict(result.series.buckets())
+        for start, rate in merged.series.buckets():
+            assert rate == pytest.approx(own[start])
