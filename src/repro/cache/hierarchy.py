@@ -153,8 +153,9 @@ class CacheHierarchy(FlowCache):
         )
 
     def last_used_times(self):
-        yield from self.microflow.last_used_times()
-        yield from self.megaflow.last_used_times()
+        return list(self.microflow.last_used_times()) + list(
+            self.megaflow.last_used_times()
+        )
 
     @property
     def microflow_hit_fraction(self) -> float:

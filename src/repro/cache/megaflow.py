@@ -10,7 +10,7 @@ guarantees entries never overlap, so the cache needs no priorities.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from ..classify.tss import TupleSpaceClassifier
 from ..flow.actions import ActionList
@@ -279,12 +279,12 @@ class MegaflowCache(FlowCache):
 
     def attach_telemetry(self, telemetry, name: Optional[str] = None) -> None:
         super().attach_telemetry(telemetry, name)
-        self._classifier.observer = telemetry.tss_observer(
+        self._classifier.observer_cells = telemetry.tss_observer(
             self.telemetry_name
         )
 
-    def last_used_times(self) -> Iterator[float]:
-        return (entry.last_used for entry in self._by_match.values())
+    def last_used_times(self) -> List[float]:
+        return [entry.last_used for entry in self._by_match.values()]
 
     # -- introspection ----------------------------------------------------------------
 

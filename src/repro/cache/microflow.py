@@ -147,7 +147,7 @@ class MicroflowCache(FlowCache):
             tel.on_evict(self.telemetry_name, "clear", dropped)
 
     def last_used_times(self):
-        return (entry.last_used for entry in self._entries.values())
+        return [entry.last_used for entry in self._entries.values()]
 
 
 class _Entry:

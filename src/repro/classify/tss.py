@@ -149,10 +149,10 @@ class TupleSpaceClassifier(Generic[RuleT]):
     ):
         self.schema = schema
         self.staged = staged
-        #: Optional telemetry callback ``(groups_probed, matched)`` fired
-        #: after every lookup; ``None`` (the default) costs one attribute
-        #: check on the hot path.
-        self.observer = None
+        #: Optional telemetry pending cell — a two-slot ``[miss, hit]``
+        #: list bumped inline after every lookup; ``None`` (the default)
+        #: costs one attribute check on the hot path.
+        self.observer_cells = None
         self._groups: Dict[Tuple[int, ...], _Group[RuleT]] = {}
         self._ordered: List[_Group[RuleT]] = []
         self._order_dirty = False
@@ -298,9 +298,9 @@ class TupleSpaceClassifier(Generic[RuleT]):
         wildcard = None
         if unwildcard:
             wildcard = Wildcard(self.schema, acc)
-        observer = self.observer
-        if observer is not None:
-            observer(probed, best is not None)
+        cells = self.observer_cells
+        if cells is not None:
+            cells[1 if best is not None else 0] += 1
         return LookupResult(best, wildcard, probed)
 
     # -- internals --------------------------------------------------------------------

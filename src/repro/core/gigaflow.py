@@ -23,6 +23,7 @@ from ..flow.actions import Action, ActionList
 from ..flow.fields import DEFAULT_SCHEMA, FieldSchema
 from ..flow.key import FlowKey
 from ..pipeline.traversal import Traversal
+from ..obs.trace import BIT_LTM_PROBE
 from .ltm import TAG_DONE, LtmRule, LtmTable
 from .partition import Partitioner, disjoint_partition
 from .rulegen import build_ltm_rules
@@ -169,15 +170,32 @@ class GigaflowCache(FlowCache):
         tables_hit = 0
         probes = 0
         tel = self.telemetry
+        # Per-probe accounting is the hottest telemetry site in the walk:
+        # bump the pending metric cells directly and only pay the
+        # ``on_ltm_probe`` hook call when tracing wants the event (the
+        # hook bumps the same cells itself, so the paths are exclusive).
+        if tel is None:
+            cells = None
+            trace_probe = None
+        else:
+            cells = tel._p_ltm
+            tracer = tel.tracer
+            trace_probe = (
+                tel.on_ltm_probe
+                if tracer.enabled and tracer.mask & BIT_LTM_PROBE
+                else None
+            )
         for table in self.tables:
             if tag == TAG_DONE:
                 break
             rule, groups = table.lookup(current, tag)
             probes += max(groups, 1)
-            if tel is not None:
-                tel.on_ltm_probe(
+            if trace_probe is not None:
+                trace_probe(
                     table.index, tag, groups, rule is not None, now
                 )
+            elif cells is not None:
+                cells[table.index][1 if rule is not None else 0] += 1
             if rule is None:
                 continue  # pass-through: not this packet's next segment
             tables_hit += 1
@@ -370,6 +388,7 @@ class GigaflowCache(FlowCache):
             tel = self.telemetry
             if tel is not None:
                 tel.on_evict(self.telemetry_name, "shadow", removed)
+                tel.on_chain_repair(now, traversal.initial_flow, removed)
 
     # -- FlowCache bookkeeping ----------------------------------------------------------
 
@@ -435,7 +454,13 @@ class GigaflowCache(FlowCache):
             )
 
     def last_used_times(self):
-        return (rule.last_used for rule in self)
+        # List comprehensions, not generators: the snapshot cadence
+        # walks every rule each sweep interval, and generator frames
+        # dominate that cost at high entry counts.
+        times: List[float] = []
+        for table in self.tables:
+            times.extend([rule.last_used for rule in table])
+        return times
 
     # -- introspection -------------------------------------------------------------------
 

@@ -120,9 +120,10 @@ class LtmTable:
         self.index = index
         self.capacity = capacity
         self.schema = schema
-        #: Telemetry callback ``(groups_probed, matched)`` propagated to
-        #: every per-tag classifier bucket (``None`` = not observed).
-        self._observer = None
+        #: Telemetry pending cell (two-slot ``[miss, hit]`` list)
+        #: propagated to every per-tag classifier bucket (``None`` =
+        #: not observed).
+        self._observer_cells = None
         self._by_tag: Dict[int, TupleSpaceClassifier[LtmRule]] = {}
         self._by_identity: Dict[Tuple, LtmRule] = {}
         self._by_id: Dict[int, LtmRule] = {}
@@ -171,7 +172,7 @@ class LtmTable:
         bucket = self._by_tag.get(rule.tag)
         if bucket is None:
             bucket = TupleSpaceClassifier(self.schema)
-            bucket.observer = self._observer
+            bucket.observer_cells = self._observer_cells
             self._by_tag[rule.tag] = bucket
         bucket.insert(rule)
         self._by_identity[identity] = rule
@@ -243,12 +244,13 @@ class LtmTable:
 
     # -- observability ------------------------------------------------------------------
 
-    def set_observer(self, observer) -> None:
-        """Install a TSS lookup observer on every (current and future)
-        per-tag bucket of this table."""
-        self._observer = observer
+    def set_observer(self, cells) -> None:
+        """Install a TSS lookup pending cell (two-slot ``[miss, hit]``
+        list) on every (current and future) per-tag bucket of this
+        table."""
+        self._observer_cells = cells
         for bucket in self._by_tag.values():
-            bucket.observer = observer
+            bucket.observer_cells = cells
 
     # -- introspection ------------------------------------------------------------------
 

@@ -17,11 +17,12 @@ from .wildcard import Wildcard
 class FlowKey:
     """An immutable vector of concrete header-field values."""
 
-    __slots__ = ("_schema", "_values")
+    __slots__ = ("_schema", "_values", "_hash")
 
     def __init__(self, schema: FieldSchema, values: Iterable[int]):
         self._schema = schema
         self._values: Tuple[int, ...] = tuple(values)
+        self._hash = None
         if len(self._values) != len(schema):
             raise ValueError(
                 f"expected {len(schema)} values, got {len(self._values)}"
@@ -69,7 +70,12 @@ class FlowKey:
         return self._schema == other._schema and self._values == other._values
 
     def __hash__(self) -> int:
-        return hash(self._values)
+        # Memoized: keys are immutable and shared across every packet of
+        # a flow, and telemetry derives flow ids from this per event.
+        h = self._hash
+        if h is None:
+            h = self._hash = hash(self._values)
+        return h
 
     def __repr__(self) -> str:
         parts = [

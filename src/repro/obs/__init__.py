@@ -6,6 +6,13 @@ unless a :class:`Telemetry` is attached via
 :attr:`~repro.sim.engine.SimConfig.telemetry`.
 """
 
+from .analyze import (
+    analyze_events,
+    analyze_jsonl,
+    analyze_tracer,
+    load_jsonl,
+    render_text,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -17,6 +24,9 @@ from .metrics import (
 from .snapshot import AGE_BUCKETS, CacheSnapshot, age_histogram, take_snapshot
 from .telemetry import Telemetry, merge_telemetry_summaries
 from .trace import (
+    EVENT_CODES,
+    EVENT_FIELDS,
+    EV_CHAIN_REPAIR,
     EV_CONTROLLER,
     EV_EVICT,
     EV_FASTPATH_INVALIDATE,
@@ -24,7 +34,6 @@ from .trace import (
     EV_INSTALL,
     EV_LOOKUP_HIT,
     EV_LOOKUP_MISS,
-    EV_LOOKUP_START,
     EV_LTM_PROBE,
     EV_REVALIDATE,
     EV_SNAPSHOT,
@@ -35,6 +44,9 @@ from .trace import (
 
 __all__ = [
     "AGE_BUCKETS",
+    "EVENT_CODES",
+    "EVENT_FIELDS",
+    "EV_CHAIN_REPAIR",
     "EV_CONTROLLER",
     "EV_EVICT",
     "EV_FASTPATH_INVALIDATE",
@@ -42,7 +54,6 @@ __all__ = [
     "EV_INSTALL",
     "EV_LOOKUP_HIT",
     "EV_LOOKUP_MISS",
-    "EV_LOOKUP_START",
     "EV_LTM_PROBE",
     "EV_REVALIDATE",
     "EV_SNAPSHOT",
@@ -57,7 +68,12 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "age_histogram",
+    "analyze_events",
+    "analyze_jsonl",
+    "analyze_tracer",
+    "load_jsonl",
     "merge_telemetry_summaries",
     "parse_prometheus_text",
+    "render_text",
     "take_snapshot",
 ]

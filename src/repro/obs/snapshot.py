@@ -11,9 +11,14 @@ record the Flow Correlator line of work tunes against.
 
 from __future__ import annotations
 
-from bisect import bisect_left
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
+
+try:  # numpy keeps the per-entry histogram work in C; the telemetry
+    import numpy as _np  # subsystem itself stays importable without it.
+except ImportError:  # pragma: no cover - container always has numpy
+    _np = None
 
 __all__ = ["AGE_BUCKETS", "CacheSnapshot", "age_histogram", "take_snapshot"]
 
@@ -28,13 +33,31 @@ def age_histogram(
 ) -> List[int]:
     """Bucket ``now - used`` ages; the final slot is the overflow.
 
-    ``bisect_left`` gives the first bound ``>= age`` — the inclusive
-    upper bound — and returns ``len(bounds)`` past the last bound,
-    which is exactly the overflow slot's index.
+    Bucket ``i`` holds ages in ``(bounds[i-1], bounds[i]]`` (inclusive
+    upper bound); the overflow slot holds ages past the last bound.
+    Sorting once and taking cumulative-count differences keeps the
+    per-entry work in C — this runs every sweep interval over every
+    cache entry, so it is the hottest part of the snapshot cadence.
+    The numpy and pure-Python paths are bit-identical: float64
+    subtraction and ``searchsorted(..., side="right")`` compare exactly
+    like Python floats and :func:`bisect_right`.
     """
-    counts = [0] * (len(bounds) + 1)
-    for used in last_used_times:
-        counts[bisect_left(bounds, now - used)] += 1
+    counts = []
+    previous = 0
+    if _np is not None:
+        ages = now - _np.asarray(last_used_times, dtype=_np.float64)
+        ages.sort()
+        for cumulative in _np.searchsorted(ages, bounds, side="right").tolist():
+            counts.append(cumulative - previous)
+            previous = cumulative
+    else:
+        ages = [now - used for used in last_used_times]
+        ages.sort()
+        for bound in bounds:
+            cumulative = bisect_right(ages, bound)
+            counts.append(cumulative - previous)
+            previous = cumulative
+    counts.append(len(ages) - previous)
     return counts
 
 
@@ -102,5 +125,5 @@ def take_snapshot(
         per_table=per_table,
         epoch=epoch,
         epoch_delta=epoch - previous.epoch if previous is not None else 0,
-        ages=age_histogram(tuple(cache.last_used_times()), now),
+        ages=age_histogram(cache.last_used_times(), now),
     )

@@ -1,17 +1,52 @@
-"""Structured per-packet trace events.
+"""Structured per-packet trace events with an interned, allocation-lean ring.
 
-A :class:`Tracer` collects :class:`TraceEvent` records into a bounded
-in-memory ring buffer and, optionally, streams them to a JSONL sink.
-Tracing is *opt-in twice over*: instrumented code only reaches a tracer
-through an attached :class:`~repro.obs.telemetry.Telemetry`, and every
-emission site guards on :attr:`Tracer.enabled` — with telemetry detached
-(the default) the hot paths pay exactly one attribute check.
+A :class:`Tracer` collects events into a bounded in-memory ring buffer
+and, optionally, streams them to a buffered JSONL sink.  Tracing is
+*opt-in twice over*: instrumented code only reaches a tracer through an
+attached :class:`~repro.obs.telemetry.Telemetry`, and every emission
+site guards on :attr:`Tracer.enabled` (plus the per-event-type
+:attr:`Tracer.mask`) — with telemetry detached (the default) the hot
+paths pay exactly one attribute check.
 
-Event vocabulary (the ``event`` field; see ``docs/observability.md`` for
-the per-event field schema):
+Hot-path representation
+-----------------------
+
+The ring does **not** hold :class:`TraceEvent` objects.  Each record is
+one flat tuple ``(ts, code, value, value, ...)`` whose layout is fixed
+by the event type's field schema (:data:`EVENT_FIELDS`):
+
+* the event type is an interned small-int *code*
+  (:data:`EVENT_CODES`; dynamic event names get codes on first use),
+* cache names are interned to small ints (:meth:`Tracer.intern_cache`),
+* flow identifiers are stored as raw 32-bit ints and only formatted to
+  the stable ``"%08x"`` string on decode.
+
+:class:`TraceEvent` objects (and JSONL dicts) are materialized *lazily*
+by :meth:`Tracer.events` / :meth:`Tracer.drain` / the sink flush — the
+per-event cost while tracing is one tuple allocation plus one C-level
+list append, no dicts, no string formatting, no ``json.dumps``.
+
+Ring discipline is *amortized*: :attr:`Tracer.append` is the backing
+list's own bound ``append`` (no Python frame per event), so overflow
+past ``capacity`` is not detected per event.  Instead every read/flush
+boundary — :meth:`Tracer.events`, :meth:`Tracer.drain`,
+:attr:`Tracer.dropped`, :meth:`Tracer.flush` (which the telemetry hub
+calls at each sweep boundary) and :meth:`Tracer.close` — first *syncs*:
+unwritten records stream to the JSONL sink in one encoded batch, then
+the buffer is trimmed back to the newest ``capacity`` records and the
+trim is charged to ``dropped``.  Observable semantics are exactly those
+of a per-event ring (the sink sees every emitted event; the ring keeps
+the last ``capacity``); the transient buffer overshoot between syncs is
+bounded by the event volume of one sweep interval.
+
+A tracer that owns its sink closes it on garbage collection as a safety
+net, but long-lived callers should ``close()`` (or use the tracer as a
+context manager) to bound tail loss on crash.
+
+Event vocabulary (the ``event`` field; see ``docs/observability.md``
+for the per-event field schema):
 
 ========================  =====================================================
-``lookup_start``          a packet entered the cache lookup
 ``lookup_hit``            the cache fully handled the packet
 ``lookup_miss``           the packet fell through to the slow path
 ``ltm_probe``             one Gigaflow LTM table was probed (per table)
@@ -19,22 +54,37 @@ the per-event field schema):
 ``evict``                 cache entries were removed (reason: lru/idle/reval/clear)
 ``revalidate``            one entry's revalidation verdict (consistent/evicted)
 ``fastpath_replay``       a memoized exact-match record served the lookup
+                          (stands in for that packet's ``lookup_hit``)
 ``fastpath_invalidate``   a memoized record was dropped (stale epoch)
 ``sweep``                 the engine's idle sweep fired
 ``snapshot``              a periodic occupancy/churn snapshot was taken
 ``controller``            the adaptive controller changed a knob
+``chain_repair``          a shadowed chain was repaired on the miss path
 ========================  =====================================================
+
+(Earlier revisions also emitted a per-packet ``lookup_start`` event; it
+was culled from the vocabulary because every lookup deterministically
+produces exactly one ``lookup_hit``/``lookup_miss`` — or a
+``fastpath_replay`` — carrying the same timestamp and flow id, so the
+start marker doubled the hot-path event volume for zero information.)
 """
 
 from __future__ import annotations
 
 import json
-from collections import deque
-from typing import IO, List, Optional, Union
+from typing import (
+    IO,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
-__all__ = ["TraceEvent", "Tracer"]
+__all__ = ["TraceEvent", "Tracer", "EVENT_CODES", "EVENT_FIELDS"]
 
-EV_LOOKUP_START = "lookup_start"
 EV_LOOKUP_HIT = "lookup_hit"
 EV_LOOKUP_MISS = "lookup_miss"
 EV_LTM_PROBE = "ltm_probe"
@@ -46,10 +96,87 @@ EV_FASTPATH_INVALIDATE = "fastpath_invalidate"
 EV_SWEEP = "sweep"
 EV_SNAPSHOT = "snapshot"
 EV_CONTROLLER = "controller"
+EV_CHAIN_REPAIR = "chain_repair"
+
+#: Builtin event names, index == interned code.
+EVENT_NAMES: Tuple[str, ...] = (
+    EV_LOOKUP_HIT,
+    EV_LOOKUP_MISS,
+    EV_LTM_PROBE,
+    EV_INSTALL,
+    EV_EVICT,
+    EV_REVALIDATE,
+    EV_FASTPATH_REPLAY,
+    EV_FASTPATH_INVALIDATE,
+    EV_SWEEP,
+    EV_SNAPSHOT,
+    EV_CONTROLLER,
+    EV_CHAIN_REPAIR,
+)
+
+#: ``{event name: interned code}`` for the builtin vocabulary.
+EVENT_CODES: Dict[str, int] = {name: i for i, name in enumerate(EVENT_NAMES)}
+
+CODE_LOOKUP_HIT = EVENT_CODES[EV_LOOKUP_HIT]
+CODE_LOOKUP_MISS = EVENT_CODES[EV_LOOKUP_MISS]
+CODE_LTM_PROBE = EVENT_CODES[EV_LTM_PROBE]
+CODE_INSTALL = EVENT_CODES[EV_INSTALL]
+CODE_EVICT = EVENT_CODES[EV_EVICT]
+CODE_REVALIDATE = EVENT_CODES[EV_REVALIDATE]
+CODE_FASTPATH_REPLAY = EVENT_CODES[EV_FASTPATH_REPLAY]
+CODE_FASTPATH_INVALIDATE = EVENT_CODES[EV_FASTPATH_INVALIDATE]
+CODE_SWEEP = EVENT_CODES[EV_SWEEP]
+CODE_SNAPSHOT = EVENT_CODES[EV_SNAPSHOT]
+CODE_CONTROLLER = EVENT_CODES[EV_CONTROLLER]
+CODE_CHAIN_REPAIR = EVENT_CODES[EV_CHAIN_REPAIR]
+
+#: Per-code mask bits (``mask & BIT_x`` gates emission of event x).
+BIT_LOOKUP_HIT = 1 << CODE_LOOKUP_HIT
+BIT_LOOKUP_MISS = 1 << CODE_LOOKUP_MISS
+BIT_LTM_PROBE = 1 << CODE_LTM_PROBE
+BIT_INSTALL = 1 << CODE_INSTALL
+BIT_EVICT = 1 << CODE_EVICT
+BIT_REVALIDATE = 1 << CODE_REVALIDATE
+BIT_FASTPATH_REPLAY = 1 << CODE_FASTPATH_REPLAY
+BIT_FASTPATH_INVALIDATE = 1 << CODE_FASTPATH_INVALIDATE
+BIT_SWEEP = 1 << CODE_SWEEP
+BIT_SNAPSHOT = 1 << CODE_SNAPSHOT
+BIT_CONTROLLER = 1 << CODE_CONTROLLER
+BIT_CHAIN_REPAIR = 1 << CODE_CHAIN_REPAIR
+
+#: Field-name schema per builtin code: the decode key for flat records.
+#: ``cache`` slots hold interned cache-name ints, ``flow`` slots hold raw
+#: 32-bit flow hashes (or None); both decode lazily.
+EVENT_FIELDS: Tuple[Tuple[str, ...], ...] = (
+    ("cache", "flow", "tables_hit", "groups_probed"),         # lookup_hit
+    ("cache", "flow", "tables_hit", "groups_probed"),         # lookup_miss
+    ("cache", "table", "tag", "groups", "matched"),           # ltm_probe
+    ("cache", "traversal_length", "rules_generated",
+     "rules_installed"),                                      # install
+    ("cache", "reason", "count"),                             # evict
+    ("cache", "verdict", "lookups"),                          # revalidate
+    ("cache", "flow", "tables_hit", "groups_probed"),         # fastpath_replay
+    ("cache", "flow"),                                        # fastpath_invalidate
+    ("cache", "evicted"),                                     # sweep
+    ("cache", "entry_count", "capacity", "occupancy",
+     "per_table", "epoch", "epoch_delta", "ages"),            # snapshot
+    ("cache", "knob", "from", "to"),                          # controller
+    ("cache", "flow", "removed"),                             # chain_repair
+)
+
+#: Housekeeping stride for the generic :meth:`Tracer.emit` path: after
+#: this many records accumulate past the last sync, emit() triggers a
+#: sink flush + ring trim itself (instrumented hot paths rely on the
+#: telemetry sweep cadence instead).
+FLUSH_EVERY = 4096
 
 
 class TraceEvent:
-    """One structured event: a timestamp, a type, and free-form fields."""
+    """One structured event: a timestamp, a type, and free-form fields.
+
+    Materialized lazily from the tracer's flat ring records — holding a
+    ``TraceEvent`` never aliases tracer internals.
+    """
 
     __slots__ = ("ts", "event", "fields")
 
@@ -68,17 +195,31 @@ class TraceEvent:
 
 
 class Tracer:
-    """Bounded ring buffer of trace events with an optional JSONL sink.
+    """Bounded ring buffer of interned trace records, optional JSONL sink.
 
     Attributes:
         enabled: The gate every emission site checks.  Constructing a
             disabled tracer and never flipping this guarantees zero
             events and (near-)zero overhead.
+        mask: Int bitmask over interned event codes; emission sites
+            test ``mask & (1 << code)`` after ``enabled``.  ``-1``
+            (all bits set) traces everything; :meth:`set_events`
+            restricts it to a named subset so e.g. only ``ltm_probe`` +
+            ``fastpath_invalidate`` are recorded while every other site
+            stays at its two-comparison fast exit.
         capacity: Ring-buffer size; older events are dropped once full
             (``dropped`` counts them).  The JSONL sink, when set, sees
-            *every* event regardless of ring wraparound.
-        emitted: Total events emitted since construction.
+            *every* emitted event regardless of ring wraparound.
+        emitted: Total events recorded since construction (events
+            masked out are never emitted and do not count).
         dropped: Events expelled from the ring by wraparound.
+        append: The hot-path entry point call sites use after checking
+            :attr:`enabled` and the :attr:`mask` bit.  Bound directly to
+            the backing list's ``append`` — see the module docstring's
+            amortized-ring discipline.
+        sink_path: The sink's filesystem path when the sink was opened
+            from a string (None for caller-owned IO objects) — what the
+            sharded engine derives per-worker ``.shard<N>`` paths from.
     """
 
     def __init__(
@@ -86,51 +227,237 @@ class Tracer:
         capacity: int = 65536,
         enabled: bool = True,
         sink: Union[None, str, IO[str]] = None,
+        events: Optional[Iterable[str]] = None,
     ):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.enabled = enabled
         self.capacity = capacity
-        self._ring: "deque[TraceEvent]" = deque(maxlen=capacity)
-        self.emitted = 0
-        self.dropped = 0
+        # The ring: a plain list, mutated only in place (identity is
+        # load-bearing — self.append aliases its bound append).
+        self._buf: List[tuple] = []
+        self.append = self._buf.append
+        #: Records trimmed off the ring (wraparound), synced lazily.
+        self._dropped = 0
+        #: Records handed out destructively by drain().
+        self._taken = 0
+        #: Records already encoded+written to the sink.
+        self._sink_written = 0
+        #: Buffer length at the end of the last sync (emit()'s
+        #: housekeeping stride counts from here).
+        self._synced_len = 0
+        # Interning tables.  Event names/codes start at the builtin
+        # vocabulary; unknown names (generic emit()) intern dynamically.
+        self._event_names: List[str] = list(EVENT_NAMES)
+        self._event_codes: Dict[str, int] = dict(EVENT_CODES)
+        self._cache_names: List[str] = []
+        self._cache_codes: Dict[str, int] = {}
+        self.event_filter: Optional[frozenset] = None
+        self.mask = -1
+        if events is not None:
+            self.set_events(events)
         self._sink: Optional[IO[str]] = None
         self._owns_sink = False
+        self.sink_path: Optional[str] = None
         if isinstance(sink, str):
             self._sink = open(sink, "w", encoding="utf-8")
             self._owns_sink = True
+            self.sink_path = sink
         elif sink is not None:
             self._sink = sink
 
+    @property
+    def emitted(self) -> int:
+        """Total events recorded (invariant under syncs and drains)."""
+        return self._dropped + self._taken + len(self._buf)
+
+    @property
+    def dropped(self) -> int:
+        """Events expelled from the ring by wraparound (syncs first)."""
+        self._sync()
+        return self._dropped
+
     def __len__(self) -> int:
-        return len(self._ring)
+        # Ring occupancy: overshoot past capacity is already doomed to
+        # the next trim, so never report it.
+        return min(len(self._buf), self.capacity)
+
+    # -- configuration ----------------------------------------------------------
+
+    def set_events(self, events: Optional[Iterable[str]]) -> None:
+        """Restrict tracing to the named event types (None = all).
+
+        Unknown names are interned immediately so the filter also
+        covers dynamic events emitted later under the same name.
+        """
+        if events is None:
+            self.event_filter = None
+            self.mask = -1
+            return
+        names = frozenset(events)
+        self.event_filter = names
+        mask = 0
+        for name in names:
+            code = self._event_codes.get(name)
+            if code is None:
+                code = self._intern_event(name)
+            mask |= 1 << code
+        self.mask = mask
+
+    def wants(self, event: str) -> bool:
+        """True when ``event`` would currently be recorded."""
+        if not self.enabled:
+            return False
+        code = self._event_codes.get(event)
+        if code is None:
+            return self.event_filter is None
+        return bool(self.mask & (1 << code))
+
+    def intern_cache(self, name: str) -> int:
+        """Intern a cache name, returning its small-int code."""
+        code = self._cache_codes.get(name)
+        if code is None:
+            code = len(self._cache_names)
+            self._cache_names.append(name)
+            self._cache_codes[name] = code
+        return code
+
+    def _intern_event(self, name: str) -> int:
+        code = len(self._event_names)
+        self._event_names.append(name)
+        self._event_codes[name] = code
+        if self.event_filter is None or name in self.event_filter:
+            self.mask |= 1 << code
+        return code
+
+    # -- emission ---------------------------------------------------------------
+    #
+    # (The hot-path entry point is the *attribute* ``append`` — the
+    # backing list's own bound append, assigned in __init__.)
 
     def emit(self, ts: float, event: str, **fields) -> None:
-        """Record one event (call sites must pre-check :attr:`enabled`)."""
+        """Record one event by name (generic/cold path).
+
+        Unknown event names intern dynamically; the fields dict is
+        stored as-is (``(ts, code, fields)``) and decoded verbatim.
+        Instrumented hot paths bypass this for :attr:`append` with a
+        schema-shaped flat record.
+        """
         if not self.enabled:
             return
-        record = TraceEvent(ts, event, fields)
-        if len(self._ring) == self.capacity:
-            self.dropped += 1
-        self._ring.append(record)
-        self.emitted += 1
-        if self._sink is not None:
-            self._sink.write(json.dumps(record.to_dict()) + "\n")
+        code = self._event_codes.get(event)
+        if code is None:
+            code = self._intern_event(event)
+        if not self.mask & (1 << code):
+            return
+        buf = self._buf
+        buf.append((ts, code, fields))
+        # Self-housekeeping for engine-less callers: sink batches and
+        # ring trims every FLUSH_EVERY records even when no telemetry
+        # sweep cadence ever calls flush().
+        if len(buf) - self._synced_len >= FLUSH_EVERY:
+            self._sync()
+
+    # -- decode -----------------------------------------------------------------
+
+    def _materialize(self, record: tuple) -> TraceEvent:
+        ts = record[0]
+        code = record[1]
+        if len(record) == 3 and type(record[2]) is dict:
+            return TraceEvent(ts, self._event_names[code], dict(record[2]))
+        schema = EVENT_FIELDS[code]
+        fields = {}
+        cache_names = self._cache_names
+        for key, value in zip(schema, record[2:]):
+            if key == "cache":
+                if type(value) is int:
+                    value = cache_names[value]
+            elif key == "flow" and value is not None:
+                value = format(value, "08x")
+            fields[key] = value
+        return TraceEvent(ts, self._event_names[code], fields)
 
     def events(self) -> List[TraceEvent]:
-        """The ring's current contents, oldest first."""
-        return list(self._ring)
+        """The ring's current contents, oldest first (materialized)."""
+        self._sync()
+        return [self._materialize(record) for record in self._buf]
 
     def drain(self) -> List[TraceEvent]:
         """Return and clear the ring (counters are preserved)."""
-        out = list(self._ring)
-        self._ring.clear()
+        out = self.events()
+        self._taken += len(self._buf)
+        self._buf.clear()
+        self._synced_len = 0
         return out
+
+    def iter_dicts(self) -> Iterator[dict]:
+        """Iterate the ring's contents as JSONL-shaped dicts (the
+        analyzer's live-ring input)."""
+        self._sync()
+        for record in self._buf:
+            yield self._materialize(record).to_dict()
+
+    # -- sink + ring housekeeping -----------------------------------------------
+
+    def _sync(self) -> None:
+        """Stream unwritten records to the sink, then trim the ring.
+
+        The order is load-bearing: drains and trims only ever happen
+        here, *after* the write, so the not-yet-written tail is always
+        still resident in the buffer.
+        """
+        buf = self._buf
+        sink = self._sink
+        if sink is not None:
+            unwritten = (
+                self._dropped + self._taken + len(buf) - self._sink_written
+            )
+            if unwritten:
+                dumps = json.dumps
+                materialize = self._materialize
+                sink.write(
+                    "".join(
+                        dumps(materialize(record).to_dict()) + "\n"
+                        for record in buf[len(buf) - unwritten:]
+                    )
+                )
+                self._sink_written += unwritten
+                # Push through the file object's own buffer too: the
+                # sweep-cadence flush bounds crash loss, which a
+                # Python-level buffer would silently undo.
+                sink.flush()
+        excess = len(buf) - self.capacity
+        if excess > 0:
+            del buf[:excess]
+            self._dropped += excess
+        self._synced_len = len(buf)
+
+    def flush(self) -> None:
+        """Write buffered records to the sink in one encoded batch and
+        trim the ring to capacity.  Called automatically at each
+        telemetry sweep boundary, on every read, and by :meth:`close`;
+        harmless (and cheap) when nothing is pending."""
+        self._sync()
 
     def close(self) -> None:
         """Flush and close an owned JSONL sink (idempotent)."""
         if self._sink is not None:
+            self._sync()
             self._sink.flush()
             if self._owns_sink:
                 self._sink.close()
             self._sink = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        # Safety net for abandoned tracers: flush buffered tail events
+        # before the file object dies.  close() is the real contract.
+        try:
+            self.close()
+        except Exception:
+            pass

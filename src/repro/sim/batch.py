@@ -11,20 +11,31 @@ through a pre-built pilot table.
 
 The win the sharded engine banks on is *cadence amortisation*: the
 streaming loop re-checks the idle-sweep and telemetry-snapshot deadlines
-on every packet, but those deadlines only matter for the chunk that
-straddles them.  Trace timestamps are sorted, so one comparison against
-the chunk's last timestamp decides whether the whole chunk can take a
-cadence-free tight loop or must fall back to the careful per-packet body.
+on every packet, but those deadlines only matter at the exact packets
+that cross them.  Trace timestamps are sorted, so a ``bisect`` against
+the next deadline splits each chunk into cadence-free sub-slices: the
+inner loops carry no per-packet deadline checks at all, and every sweep/
+snapshot fires between slices, exactly at its boundary packet — the
+same packet the streaming loop would fire it on.  (When the snapshot
+cadence is much shorter than a chunk's time span, this is also what
+keeps telemetry overhead flat: the old design fell back to a careful
+per-packet body for any chunk containing a deadline.)
 
 **Bit-identity contract** (pinned by ``tests/test_sharded.py``): every
 ``SimResult`` field — counters, float accumulators, time series,
-telemetry summary — must be identical to the streaming loop's, because
-the sharded golden tests compare against the classic engine.  The
-careful loop below is a line-for-line copy of ``run_packets``'s body;
-keep the two in lockstep when touching either.
+telemetry summary — must be identical to the streaming loop's.  The
+per-packet bodies below mirror ``run_packets``'s body (minus the Packet
+object and the cadence checks); keep them in lockstep when touching
+either.  One knowing divergence: trace-event *timestamps* stamped from
+``telemetry.now`` during an idle sweep's evictions may differ from the
+streaming loop's by up to one packet, because the batched loop only
+refreshes ``tel.now`` on the miss path and at cadence boundaries —
+``SimResult`` fields and every counter are unaffected.
 """
 
 from __future__ import annotations
+
+from bisect import bisect_left
 
 from ..metrics.cpu import CpuBreakdown
 from ..pipeline.traversal import Disposition
@@ -32,9 +43,11 @@ from ..workload.pipebench import Trace
 from .results import SimResult, TimeSeries
 
 #: Rows decoded per ``tolist()`` call.  Large enough to amortise the
-#: numpy→list conversion and the per-chunk boundary test, small enough
-#: that a cadence boundary only drags one chunk onto the careful path.
+#: numpy→list conversion, small enough to keep the decoded lists cheap
+#: to slice at cadence boundaries.
 CHUNK_SIZE = 4096
+
+_INF = float("inf")
 
 
 def run_batched(simulator, trace: Trace) -> SimResult:
@@ -54,7 +67,7 @@ def run_batched(simulator, trace: Trace) -> SimResult:
     sweep_interval = config.sweep_interval
     hit_us = config.latency.hit_us
     next_sweep = sweep_interval
-    tel, ctl, lookup, on_lookup, on_start = simulator._prepare_run()
+    tel, ctl, lookup, on_lookup = simulator._prepare_run()
     next_snapshot = sweep_interval
 
     times, flow_indices, _sizes = trace.columns()
@@ -86,174 +99,140 @@ def run_batched(simulator, trace: Trace) -> SimResult:
         t_chunk = times[pos:end].tolist()
         i_chunk = flow_indices[pos:end].tolist()
         pos = end
-        # Timestamps are sorted (Trace invariant), so the chunk's last
-        # row bounds every row: one test decides whether any cadence
-        # deadline falls inside this chunk.
-        last = t_chunk[-1]
-        careful = (max_idle > 0 and last >= next_sweep) or (
-            tel is not None and last >= next_snapshot
-        )
-
-        if careful:
-            # Boundary chunk: the careful loop is a verbatim copy of
-            # VSwitchSimulator.run_packets' per-packet body (minus the
-            # Packet object) — keep in lockstep.
-            for now, index in zip(t_chunk, i_chunk):
-                flow = flows[index]
+        n = len(t_chunk)
+        start = 0
+        while start < n:
+            first = t_chunk[start]
+            # Earliest cadence deadline still ahead of this slice.
+            deadline = _INF
+            if max_idle > 0 and next_sweep < deadline:
+                deadline = next_sweep
+            if tel is not None and next_snapshot < deadline:
+                deadline = next_snapshot
+            if first >= deadline:
+                # The boundary packet has crossed one or more cadence
+                # deadlines: fire them all in the streaming loop's
+                # order (idle sweeps, then snapshots), then re-split.
                 if max_idle > 0:
-                    while now >= next_sweep:
+                    while first >= next_sweep:
                         evicted = cache.evict_idle(next_sweep, max_idle)
                         if tel is not None:
                             tel.on_sweep(next_sweep, evicted)
                         next_sweep += sweep_interval
                 if tel is not None:
-                    tel.now = now
-                    while now >= next_snapshot:
+                    tel.now = first
+                    while first >= next_snapshot:
                         snapshot = tel.sample(cache, next_snapshot)
                         if ctl is not None:
                             ctl.on_sweep(next_snapshot, snapshot)
                         next_snapshot += sweep_interval
-                    if on_start is not None:
-                        on_start(now, flow)
+                continue
+            # Timestamps are sorted (Trace invariant): everything
+            # before the bisection point is deadline-free.
+            if deadline is _INF:
+                stop = n
+            else:
+                stop = bisect_left(t_chunk, deadline, start)
+            if start == 0 and stop == n:
+                t_slice = t_chunk
+                i_slice = i_chunk
+            else:
+                t_slice = t_chunk[start:stop]
+                i_slice = i_chunk[start:stop]
+            start = stop
 
-                result = lookup(flow, now)
-                cache_probes += result.groups_probed
-                if on_lookup is not None:
+            if tel is not None:
+                # Telemetry body.  ``tel.now`` is only read as a
+                # default timestamp by eviction events, and inside a
+                # cadence-free slice evictions can only fire during a
+                # miss's install — so the store lives on the miss path.
+                for now, index in zip(t_slice, i_slice):
+                    flow = flows[index]
+                    result = lookup(flow, now)
+                    cache_probes += result.groups_probed
                     on_lookup(result, now, flow)
-                if result.hit:
-                    latency_sum += hit_us
-                    record(now, hit=True)
-                    continue
+                    if result.hit:
+                        latency_sum += hit_us
+                        record(now, hit=True)
+                        continue
 
-                record(now, hit=False)
-                groups_before = pipeline_stats.groups_probed
-                traversal = execute(flow)
-                groups = pipeline_stats.groups_probed - groups_before
-                lookups = len(traversal)
-                charge_pipeline(lookups, groups)
-                miss_us = pipeline_us(lookups, groups)
+                    tel.now = now
+                    record(now, hit=False)
+                    groups_before = pipeline_stats.groups_probed
+                    traversal = execute(flow)
+                    groups = pipeline_stats.groups_probed - groups_before
+                    lookups = len(traversal)
+                    charge_pipeline(lookups, groups)
+                    miss_us = pipeline_us(lookups, groups)
 
-                if traversal.disposition != controller_disp:
-                    cost = install(traversal, pipeline.generation, now)
-                    if tel is not None:
+                    if traversal.disposition != controller_disp:
+                        cost = install(traversal, pipeline.generation, now)
                         tel.on_install(
                             now, lookups, cost.rules_generated,
                             cost.rules_installed,
                         )
-                    if cost.partition_cells:
-                        charge_partition(
-                            lookups,
-                            cost.partition_cells // max(lookups, 1),
+                        if cost.partition_cells:
+                            charge_partition(
+                                lookups,
+                                cost.partition_cells // max(lookups, 1),
+                            )
+                            miss_us += partition_us(
+                                lookups,
+                                cost.partition_cells // max(lookups, 1),
+                            )
+                        charge_rulegen(
+                            cost.rules_generated, cost.rules_installed
                         )
-                        miss_us += partition_us(
-                            lookups,
-                            cost.partition_cells // max(lookups, 1),
+                        miss_us += rulegen_us(cost.rules_generated)
+                        if cost.rules_installed:
+                            entries = entry_count()
+                            if entries > peak_entries:
+                                peak_entries = entries
+
+                    latency_sum += miss_us
+                    miss_cost_sum += miss_us
+            else:
+                # Tightest variant: no telemetry — the loop body is
+                # lookup + series bookkeeping.
+                for now, index in zip(t_slice, i_slice):
+                    flow = flows[index]
+                    result = lookup(flow, now)
+                    cache_probes += result.groups_probed
+                    if result.hit:
+                        latency_sum += hit_us
+                        record(now, hit=True)
+                        continue
+
+                    record(now, hit=False)
+                    groups_before = pipeline_stats.groups_probed
+                    traversal = execute(flow)
+                    groups = pipeline_stats.groups_probed - groups_before
+                    lookups = len(traversal)
+                    charge_pipeline(lookups, groups)
+                    miss_us = pipeline_us(lookups, groups)
+
+                    if traversal.disposition != controller_disp:
+                        cost = install(traversal, pipeline.generation, now)
+                        if cost.partition_cells:
+                            charge_partition(
+                                lookups,
+                                cost.partition_cells // max(lookups, 1),
+                            )
+                            miss_us += partition_us(
+                                lookups,
+                                cost.partition_cells // max(lookups, 1),
+                            )
+                        charge_rulegen(
+                            cost.rules_generated, cost.rules_installed
                         )
-                    charge_rulegen(
-                        cost.rules_generated, cost.rules_installed
-                    )
-                    miss_us += rulegen_us(cost.rules_generated)
-                    if cost.rules_installed:
-                        entries = entry_count()
-                        if entries > peak_entries:
-                            peak_entries = entries
+                        miss_us += rulegen_us(cost.rules_generated)
+                        if cost.rules_installed:
+                            entries = entry_count()
+                            if entries > peak_entries:
+                                peak_entries = entries
 
-                latency_sum += miss_us
-                miss_cost_sum += miss_us
-        elif tel is not None:
-            # Telemetry on, but no deadline inside the chunk: skip the
-            # cadence while-loops, keep the per-packet hooks (tel.now
-            # must track the packet clock — eviction/install events on
-            # the miss path are stamped with it).
-            for now, index in zip(t_chunk, i_chunk):
-                flow = flows[index]
-                tel.now = now
-                if on_start is not None:
-                    on_start(now, flow)
-                result = lookup(flow, now)
-                cache_probes += result.groups_probed
-                on_lookup(result, now, flow)
-                if result.hit:
-                    latency_sum += hit_us
-                    record(now, hit=True)
-                    continue
-
-                record(now, hit=False)
-                groups_before = pipeline_stats.groups_probed
-                traversal = execute(flow)
-                groups = pipeline_stats.groups_probed - groups_before
-                lookups = len(traversal)
-                charge_pipeline(lookups, groups)
-                miss_us = pipeline_us(lookups, groups)
-
-                if traversal.disposition != controller_disp:
-                    cost = install(traversal, pipeline.generation, now)
-                    tel.on_install(
-                        now, lookups, cost.rules_generated,
-                        cost.rules_installed,
-                    )
-                    if cost.partition_cells:
-                        charge_partition(
-                            lookups,
-                            cost.partition_cells // max(lookups, 1),
-                        )
-                        miss_us += partition_us(
-                            lookups,
-                            cost.partition_cells // max(lookups, 1),
-                        )
-                    charge_rulegen(
-                        cost.rules_generated, cost.rules_installed
-                    )
-                    miss_us += rulegen_us(cost.rules_generated)
-                    if cost.rules_installed:
-                        entries = entry_count()
-                        if entries > peak_entries:
-                            peak_entries = entries
-
-                latency_sum += miss_us
-                miss_cost_sum += miss_us
-        else:
-            # Tightest variant: no telemetry, no sweep deadline in this
-            # chunk — the loop body is lookup + series bookkeeping.
-            for now, index in zip(t_chunk, i_chunk):
-                flow = flows[index]
-                result = lookup(flow, now)
-                cache_probes += result.groups_probed
-                if result.hit:
-                    latency_sum += hit_us
-                    record(now, hit=True)
-                    continue
-
-                record(now, hit=False)
-                groups_before = pipeline_stats.groups_probed
-                traversal = execute(flow)
-                groups = pipeline_stats.groups_probed - groups_before
-                lookups = len(traversal)
-                charge_pipeline(lookups, groups)
-                miss_us = pipeline_us(lookups, groups)
-
-                if traversal.disposition != controller_disp:
-                    cost = install(traversal, pipeline.generation, now)
-                    if cost.partition_cells:
-                        charge_partition(
-                            lookups,
-                            cost.partition_cells // max(lookups, 1),
-                        )
-                        miss_us += partition_us(
-                            lookups,
-                            cost.partition_cells // max(lookups, 1),
-                        )
-                    charge_rulegen(
-                        cost.rules_generated, cost.rules_installed
-                    )
-                    miss_us += rulegen_us(cost.rules_generated)
-                    if cost.rules_installed:
-                        entries = entry_count()
-                        if entries > peak_entries:
-                            peak_entries = entries
-
-                latency_sum += miss_us
-                miss_cost_sum += miss_us
+                    latency_sum += miss_us
+                    miss_cost_sum += miss_us
 
     return simulator._finish_run(
         tel, ctl, now, total, peak_entries, cache_probes,

@@ -24,6 +24,7 @@ from ..flow.packet import Packet
 from ..metrics.cpu import CpuBreakdown
 from ..metrics.latency import LatencyModel
 from ..obs.telemetry import Telemetry
+from ..obs.trace import EV_FASTPATH_INVALIDATE, EV_FASTPATH_REPLAY
 from ..pipeline.pipeline import Pipeline
 from ..pipeline.traversal import Disposition, Traversal
 from ..workload.pipebench import Trace
@@ -333,25 +334,28 @@ class VSwitchSimulator:
         if ctl is not None:
             ctl.attach(cache, tel)
         self.controller = ctl
+        # The memo's replay/invalidation *metrics* delta-fold from its
+        # own counters (Telemetry.attach_fastpath), so the per-replay
+        # hook calls are only routed when tracing wants those events.
+        fastpath_tracing = tel is not None and (
+            tel.tracer.wants(EV_FASTPATH_REPLAY)
+            or tel.tracer.wants(EV_FASTPATH_INVALIDATE)
+        )
         self.fastpath = (
-            FastPathIndex(cache, telemetry=tel)
+            FastPathIndex(cache, telemetry=tel if fastpath_tracing else None)
             if config.fast_path
             else None
         )
+        if tel is not None and self.fastpath is not None:
+            tel.attach_fastpath(self.fastpath)
         lookup = (
             self.fastpath.lookup if self.fastpath is not None
             else cache.lookup
         )
-        # Hoisted hot-path hooks: one bound-method load per run instead
-        # of attribute chains per packet; lookup_start only matters when
-        # the tracer is live (its body is tracer-guarded anyway).
+        # Hoisted hot-path hook: one bound-method load per run instead
+        # of attribute chains per packet.
         on_lookup = tel.on_lookup if tel is not None else None
-        on_start = (
-            tel.on_lookup_start
-            if tel is not None and tel.tracer.enabled
-            else None
-        )
-        return tel, ctl, lookup, on_lookup, on_start
+        return tel, ctl, lookup, on_lookup
 
     def _finish_run(
         self,
@@ -416,7 +420,7 @@ class VSwitchSimulator:
         sweep_interval = config.sweep_interval
         hit_us = config.latency.hit_us
         next_sweep = sweep_interval
-        tel, ctl, lookup, on_lookup, on_start = self._prepare_run()
+        tel, ctl, lookup, on_lookup = self._prepare_run()
         next_snapshot = sweep_interval
 
         now = 0.0
@@ -441,8 +445,6 @@ class VSwitchSimulator:
                     if ctl is not None:
                         ctl.on_sweep(next_snapshot, snapshot)
                     next_snapshot += sweep_interval
-                if on_start is not None:
-                    on_start(now, packet.flow)
 
             result = lookup(packet.flow, now)
             cache_probes += result.groups_probed

@@ -83,9 +83,15 @@ class FastPathIndex:
         if record is not None:
             if record.epoch == epoch:
                 self.memo_hits += 1
-                if tel is not None:
-                    tel.on_fastpath_replay(now, flow)
-                return record.replay(now)
+                if tel is None:
+                    return record.replay(now)
+                result = record.replay(now)
+                # The replay hook only emits a trace event; gating on
+                # tracer.enabled here spares metrics-only runs a call
+                # per replayed packet (most packets once warmed up).
+                if tel.tracer.enabled:
+                    tel.on_fastpath_replay(now, flow, result)
+                return result
             del memo[signature]
             self.invalidations += 1
             if tel is not None:

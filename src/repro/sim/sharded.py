@@ -194,9 +194,14 @@ class ShardedSimulator:
         config: Shared :class:`SimConfig`; :attr:`SimConfig.shards`
             picks the worker count.  ``telemetry`` acts as an opt-in
             flag — each worker gets a *fresh* hub cloned from the
-            parent hub's tracer settings (per-worker file sinks are not
-            supported), and the per-worker registries are merged via
-            the JSON round-trip into :attr:`registry`.  ``controller``
+            parent hub's tracer settings (ring capacity, enablement,
+            event mask).  A path-opened parent trace sink fans out to
+            per-worker ``<path>.shard<N>`` JSONL files, each opened and
+            closed inside its worker (caller-owned IO sinks stay
+            parent-only); per-worker registries are merged via the JSON
+            round-trip into :attr:`registry`, and the merged telemetry
+            summary folds each shard's ``trace_events``/
+            ``trace_dropped`` counts.  ``controller``
             may be ``True`` or a ``ControllerConfig`` (each worker
             builds its own instance); passing a pre-built controller
             *instance* with ``shards > 1`` raises, since one instance
@@ -247,22 +252,41 @@ class ShardedSimulator:
 
     # -- worker body ------------------------------------------------------------
 
-    def _shard_telemetry(self) -> Optional[Telemetry]:
+    def _shard_telemetry(self, shard_id: int) -> Optional[Telemetry]:
         """A fresh per-worker hub mirroring the parent hub's tracer
-        settings (ring capacity + enablement; file sinks stay parent-
-        only — a forked file descriptor would interleave garbage)."""
+        settings (ring capacity, enablement, and event mask).
+
+        When the parent tracer's sink was opened from a *path*
+        (``sink_path`` is set), the worker gets its own derived sink at
+        ``<path>.shard<N>`` — opened inside the worker process, so no
+        file descriptor is shared across the fork.  Caller-owned IO
+        sinks (``sink_path`` is ``None``) stay parent-only: a forked
+        file object would interleave garbage.
+        """
         parent = self.config.telemetry
         if parent is None:
             return None
-        return Telemetry(
+        sink = (
+            f"{parent.tracer.sink_path}.shard{shard_id}"
+            if parent.tracer.sink_path is not None
+            else None
+        )
+        tel = Telemetry(
             trace_capacity=parent.tracer.capacity,
             tracing=parent.tracer.enabled,
+            trace_sink=sink,
         )
+        # Mirror the event selection bit-for-bit (set_events would
+        # re-derive the same mask; copying keeps dynamic interning
+        # state out of the contract).
+        tel.tracer.mask = parent.tracer.mask
+        tel.tracer.event_filter = parent.tracer.event_filter
+        return tel
 
     def _run_shard(self, shard_id: int, shards: int, trace: Trace):
         """Run one shard to completion (called inside the worker for
         ``"processes"`` mode, in-process for ``"inline"``)."""
-        tel = self._shard_telemetry()
+        tel = self._shard_telemetry(shard_id)
         cfg = replace(self.config, shards=1, telemetry=tel)
         context = ShardContext(
             shard_id=shard_id,
@@ -278,6 +302,10 @@ class ShardedSimulator:
         cpu_seconds = time.process_time() - cpu_start
         wall_seconds = time.perf_counter() - wall_start
         registry_json = tel.registry.to_json() if tel is not None else None
+        if tel is not None:
+            # Flush the buffered tail to the shard's derived sink and
+            # release the descriptor before the worker exits.
+            tel.tracer.close()
         return result, registry_json, cpu_seconds, wall_seconds
 
     # -- driver -----------------------------------------------------------------

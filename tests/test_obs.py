@@ -13,7 +13,6 @@ import pytest
 
 from repro.obs import (
     EV_LOOKUP_HIT,
-    EV_LOOKUP_START,
     EV_LTM_PROBE,
     Histogram,
     MetricsRegistry,
@@ -316,7 +315,7 @@ class TestInstrumentedRun:
         telemetry, _ = traced
         seen = {event.event for event in telemetry.tracer.events()}
         assert EV_LTM_PROBE in seen
-        assert EV_LOOKUP_START in seen or EV_LOOKUP_HIT in seen
+        assert EV_LOOKUP_HIT in seen
         # Hits dominate a high-locality trace; misses/sweeps happened too
         # even if the bounded ring no longer holds the earliest of them.
         assert telemetry.tracer.emitted > 0
