@@ -117,6 +117,11 @@ class FlowCache(abc.ABC):
         #: costs one attribute check.
         self.telemetry = None
         self.telemetry_name = self.name
+        #: Attached :class:`~repro.core.timeouts.TimeoutPredictor`, or
+        #: ``None``.  Same nil-check discipline as ``telemetry``: every
+        #: hook site guards on it, so the detached default is
+        #: behaviourally bit-identical to a tree without the predictor.
+        self.timeout_predictor = None
 
     def attach_telemetry(self, telemetry, name: Optional[str] = None) -> None:
         """Wire this cache (and any sub-components) to a telemetry hub."""
@@ -164,12 +169,15 @@ class FlowCache(abc.ABC):
         """Remove entries idle *strictly* longer than ``max_idle``;
         returns the number removed.
 
-        Boundary contract (pinned by ``tests/test_eviction_policies.py``):
-        an entry expires only when ``now - last_used > max_idle`` — an
-        entry idle for *exactly* ``max_idle`` survives the sweep.  Every
-        implementation (Microflow, Megaflow, Gigaflow, hierarchy) uses
-        this strict inequality; eviction-policy refactors must not
-        silently flip it to ``>=``.
+        Boundary contract (pinned by ``tests/test_eviction_policies.py``
+        and ``tests/test_timeout_boundary.py``): an entry expires only
+        when ``now - last_used > max_idle`` — an entry idle for
+        *exactly* ``max_idle`` survives the sweep.  Every implementation
+        (Microflow, Megaflow, Gigaflow, hierarchy) uses this strict
+        inequality; eviction-policy refactors must not silently flip it
+        to ``>=``.  With a :attr:`timeout_predictor` attached the
+        per-entry predicted timeout replaces the *threshold* only; the
+        comparison stays strict.
         """
 
     @abc.abstractmethod
@@ -185,6 +193,14 @@ class FlowCache(abc.ABC):
         raise NotImplementedError(
             f"{type(self).__name__} has no pluggable eviction policy"
         )
+
+    def set_timeout_predictor(self, predictor) -> None:
+        """Attach a :class:`~repro.core.timeouts.TimeoutPredictor` (or
+        ``None`` to detach): idle sweeps then expire each entry against
+        its own predicted timeout instead of the global ``max_idle``.
+        Multi-table caches override this to fan the (shared) instance
+        out to their sub-components."""
+        self.timeout_predictor = predictor
 
     @property
     def occupancy(self) -> float:

@@ -108,8 +108,11 @@ class _MegaflowHitReplay(HitReplay):
 
     def replay(self, now: float) -> CacheResult:
         entry = self.entry
-        entry.last_used = now
         cache = self.cache
+        pred = cache.timeout_predictor
+        if pred is not None:
+            pred.observe(entry.match, now - entry.last_used, now)
+        entry.last_used = now
         cache.policy.on_hit(entry.rule_id, now)
         cache.stats.hits += 1
         return actions_result(
@@ -178,6 +181,9 @@ class MegaflowCache(FlowCache):
                 None,
             )
         entry = result.rule
+        pred = self.timeout_predictor
+        if pred is not None:
+            pred.observe(entry.match, now - entry.last_used, now)
         entry.last_used = now
         self.policy.on_hit(entry.rule_id, now)
         self.stats.hits += 1
@@ -191,6 +197,11 @@ class MegaflowCache(FlowCache):
         existing = self._by_match.get(entry.match)
         if existing is not None:
             # Refresh in place (same match predicate — same traversal).
+            pred = self.timeout_predictor
+            if pred is not None:
+                pred.observe(
+                    existing.match, now - existing.last_used, now
+                )
             existing.last_used = now
             existing.actions = entry.actions
             existing.generation = entry.generation
@@ -219,6 +230,13 @@ class MegaflowCache(FlowCache):
         self._by_match[entry.match] = entry
         self._by_id[entry.rule_id] = entry
         self.policy.on_insert(entry.rule_id, now)
+        pred = self.timeout_predictor
+        if pred is not None:
+            # Keyed by the match predicate: rule_ids are minted fresh on
+            # every reinstall, but the masked match names the *same*
+            # traversal across evict/return cycles, which is what the
+            # ghost list and estimator state must survive.
+            pred.on_insert(entry.match, now)
         self.stats.insertions += 1
         self.bump_epoch()
         return True
@@ -239,6 +257,10 @@ class MegaflowCache(FlowCache):
         del self._by_match[entry.match]
         del self._by_id[entry.rule_id]
         self.policy.on_remove(entry.rule_id)
+        pred = self.timeout_predictor
+        if pred is not None:
+            # Idle expiries already ran on_expire (forget is idempotent).
+            pred.forget(entry.match)
         self.stats.evictions += 1
         self.bump_epoch()
         tel = self.telemetry
@@ -254,18 +276,38 @@ class MegaflowCache(FlowCache):
     def evict_idle(self, now: float, max_idle: float) -> int:
         """Remove entries idle *strictly* longer than ``max_idle``
         (``now - last_used > max_idle``); an entry idle for exactly
-        ``max_idle`` survives.  Returns the number removed."""
-        stale = [
-            entry
-            for entry in self._by_match.values()
-            if now - entry.last_used > max_idle
-        ]
-        for entry in stale:
+        ``max_idle`` survives.  With a timeout predictor attached the
+        per-entry predicted timeout replaces ``max_idle`` as the
+        threshold (comparison stays strict).  Returns the number
+        removed."""
+        pred = self.timeout_predictor
+        if pred is None:
+            stale = [
+                entry
+                for entry in self._by_match.values()
+                if now - entry.last_used > max_idle
+            ]
+            for entry in stale:
+                self.remove(entry, reason="idle")
+            return len(stale)
+        pred.begin_sweep(now, len(self._by_match) / self.capacity)
+        stale = []
+        for entry in self._by_match.values():
+            timeout = pred.timeout_for(entry.match)
+            idle = now - entry.last_used
+            if idle > timeout:
+                stale.append((entry, idle, timeout))
+        for entry, idle, timeout in stale:
+            pred.on_expire(entry.match, idle, now, timeout)
             self.remove(entry, reason="idle")
         return len(stale)
 
     def clear(self) -> None:
         dropped = len(self._by_match)
+        pred = self.timeout_predictor
+        if pred is not None:
+            for match in self._by_match:
+                pred.forget(match)
         self._classifier.clear()
         self._by_match.clear()
         self._by_id.clear()

@@ -28,6 +28,9 @@ class _MicroflowHitReplay(HitReplay):
     def replay(self, now: float) -> CacheResult:
         cache = self.cache
         cache.policy.on_hit(self.key, now)
+        pred = cache.timeout_predictor
+        if pred is not None:
+            pred.observe(self.key, now - self.entry.last_used, now)
         self.entry.last_used = now
         cache.stats.hits += 1
         return actions_result(
@@ -76,6 +79,9 @@ class MicroflowCache(FlowCache):
             self.stats.misses += 1
             return CacheResult(hit=False, groups_probed=1), None
         self.policy.on_hit(key, now)
+        pred = self.timeout_predictor
+        if pred is not None:
+            pred.observe(key, now - entry.last_used, now)
         entry.last_used = now
         self.stats.hits += 1
         hit = actions_result(entry.actions, groups_probed=1, tables_hit=1)
@@ -85,10 +91,13 @@ class MicroflowCache(FlowCache):
         """Insert (or refresh) an exact-match entry, evicting a policy
         victim when full."""
         key = flow.values
+        pred = self.timeout_predictor
         entry = self._entries.get(key)
         if entry is not None:
             self.policy.on_hit(key, now)
             self.policy.on_share(key)
+            if pred is not None:
+                pred.observe(key, now - entry.last_used, now)
             entry.actions = actions
             entry.last_used = now
             self.bump_epoch()
@@ -97,6 +106,8 @@ class MicroflowCache(FlowCache):
             victim_key = self.policy.victim()
             victim = self._entries.pop(victim_key)
             self.policy.on_remove(victim_key)
+            if pred is not None:
+                pred.forget(victim_key)
             self.stats.evictions += 1
             tel = self.telemetry
             if tel is not None:
@@ -107,6 +118,8 @@ class MicroflowCache(FlowCache):
                 )
         self._entries[key] = _Entry(actions, now)
         self.policy.on_insert(key, now)
+        if pred is not None:
+            pred.on_insert(key, now)
         self.stats.insertions += 1
         self.bump_epoch()
         return True
@@ -120,15 +133,35 @@ class MicroflowCache(FlowCache):
     def evict_idle(self, now: float, max_idle: float) -> int:
         """Remove entries idle *strictly* longer than ``max_idle``
         (``now - last_used > max_idle``); an entry idle for exactly
-        ``max_idle`` survives.  Returns the number removed."""
-        stale = [
-            key
-            for key, entry in self._entries.items()
-            if now - entry.last_used > max_idle
-        ]
-        for key in stale:
-            del self._entries[key]
-            self.policy.on_remove(key)
+        ``max_idle`` survives.  With a timeout predictor attached the
+        per-entry predicted timeout replaces ``max_idle`` as the
+        threshold (comparison stays strict).  Returns the number
+        removed."""
+        pred = self.timeout_predictor
+        if pred is None:
+            stale = [
+                key
+                for key, entry in self._entries.items()
+                if now - entry.last_used > max_idle
+            ]
+            for key in stale:
+                del self._entries[key]
+                self.policy.on_remove(key)
+        else:
+            pred.begin_sweep(now, len(self._entries) / self.capacity)
+            stale = []
+            expiries = []
+            for key, entry in self._entries.items():
+                timeout = pred.timeout_for(key)
+                idle = now - entry.last_used
+                if idle > timeout:
+                    stale.append(key)
+                    expiries.append((key, idle, timeout))
+            for key in stale:
+                del self._entries[key]
+                self.policy.on_remove(key)
+            for key, idle, timeout in expiries:
+                pred.on_expire(key, idle, now, timeout)
         self.stats.evictions += len(stale)
         if stale:
             self.bump_epoch()
@@ -139,6 +172,10 @@ class MicroflowCache(FlowCache):
 
     def clear(self) -> None:
         dropped = len(self._entries)
+        pred = self.timeout_predictor
+        if pred is not None:
+            for key in self._entries:
+                pred.forget(key)
         self._entries.clear()
         self.policy.clear()
         self.bump_epoch()

@@ -19,6 +19,9 @@ bench
     (``BENCH_evictions.json``).  ``--shards`` adds the core-scaling
     phase: one million-packet trace replayed through 1/2/4/8 worker
     processes (``BENCH_shards.json``, the empirical Fig. 19 input).
+    ``--timeouts`` adds the per-rule timeout-predictor A/B: the ewma
+    and qtable predictors vs a static ``max_idle`` sweep on an
+    interarrival-heterogeneous trace (``BENCH_timeouts.json``).
     ``--smoke`` shrinks it all for CI.
 stats
     Run one simulation with full telemetry attached and export the
@@ -53,6 +56,12 @@ def _policy_names():
     from .cache.eviction import POLICY_NAMES
 
     return POLICY_NAMES
+
+
+def _predictor_names():
+    from .core.timeouts import PREDICTOR_NAMES
+
+    return PREDICTOR_NAMES
 
 
 def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
@@ -244,6 +253,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         _bench_adaptive(args, spec)
     if args.shards:
         _bench_shards(args, spec)
+    if args.timeouts:
+        _bench_timeouts(args, spec)
     return 0
 
 
@@ -543,6 +554,173 @@ def _bench_adaptive(args: argparse.Namespace, spec) -> None:
     print(f"wrote {args.adaptive_output}")
 
 
+def _bench_timeouts(args: argparse.Namespace, spec) -> None:
+    """A/B per-rule timeout prediction against the static-idle sweep.
+
+    Every variant replays the same interarrival-*heterogeneous* trace
+    (dense and sparse persistent flow classes over a background of
+    short-lived churn flows — see
+    :func:`~repro.workload.pipebench.build_interarrival_mix_trace`)
+    against the same undersized capacity.  No single static ``max_idle``
+    can serve the mix: a short timeout expires the sparse rules between
+    their own packets, a long one lets dead churn entries squat on
+    capacity until the LRU victimises *live* sparse rules (whose
+    ``last_used`` is always the oldest among the living).  The per-rule
+    predictors (``ewma``, ``qtable`` — :mod:`repro.core.timeouts`) give
+    each rule its own deadline, so the report pits them against a static
+    sweep and records hit rate plus the dead/premature-eviction ledger.
+    ``predictor_beats_static`` asserts that at least one predictor beats
+    the best static point on hit rate while carrying no more dead
+    occupancy (mean resident entries).
+
+    The A/B runs the Megaflow system: its entries map one-to-one onto
+    traversal classes, so each entry's reuse interarrival *is* its
+    flow's packet gap — the cleanest read on the predictors themselves.
+    (Gigaflow sub-traversal sharing superimposes many flows onto one
+    rule; the predictor still applies there — the golden tests cover
+    it — but the A/B signal would measure the workload's sharing
+    structure as much as the estimators.)
+    """
+    from .core.timeouts import TimeoutConfig
+    from .obs import Telemetry
+    from .sim import SimConfig, VSwitchSimulator
+    from .workload import (
+        TraceProfile,
+        build_interarrival_mix_trace,
+        build_workload,
+    )
+
+    # Persistent classes: 10% dense (0.25 s gaps) + 20% sparse (8 s
+    # gaps) pilots, alive for the whole 60 s horizon; the remaining 70%
+    # churn through six-packet flows and leave dead entries behind.
+    # Capacity is sized between the persistent population and
+    # persistent + churn-residue-under-a-long-deadline, so static_16
+    # saturates the table and its LRU evicts live sparse rules (idle
+    # ~8 s) ahead of younger dead churn, while static_1/static_4 expire
+    # the sparse rules between their own packets.  Per-rule prediction
+    # reaps churn at ~6x its 0.25 s gap and grants sparse rules the full
+    # deadline, serving both.  Time is virtual — the packet count tracks
+    # the flow count, so --smoke still affords the full 60 s shape.
+    flows = max(args.flows, 800)
+    profile = TraceProfile(
+        mean_flow_size=10.0, duration=60.0, mean_packet_gap=0.25
+    )
+    slow_gap_scale = 32.0
+    dense_fraction, sparse_fraction = 0.1, 0.2
+    persistent = int(flows * dense_fraction) + int(flows * sparse_fraction)
+    capacity = int(persistent * 1.35)
+    sweep_interval = 0.5
+    static_grid = (1.0, 4.0, 16.0)
+    predictor_max_idle = static_grid[-1]
+    # grace=6 rides out the ±25% gap jitter with margin; cold rules
+    # keep the full deadline until their first reuse calibrates them
+    # (the conservative static-matching default).  The Q-table explores
+    # sparingly — every forced off-policy probe of a too-short level on
+    # a sparse rule costs a premature eviction.
+    predictor_config = dict(grace=6.0, q_explore_every=32)
+    variants = {}
+    for max_idle in static_grid:
+        variants[f"static_{max_idle:g}"] = (max_idle, "static")
+    for predictor in ("ewma", "qtable"):
+        variants[predictor] = (
+            predictor_max_idle,
+            TimeoutConfig(predictor=predictor, **predictor_config),
+        )
+    report = {
+        "pipeline": spec.name,
+        "locality": args.locality,
+        "flows": flows,
+        "capacity": capacity,
+        "mean_flow_size": profile.mean_flow_size,
+        "mean_packet_gap": profile.mean_packet_gap,
+        "slow_gap_scale": slow_gap_scale,
+        "dense_fraction": dense_fraction,
+        "sparse_fraction": sparse_fraction,
+        "duration": profile.duration,
+        "sweep_interval": sweep_interval,
+        "static_grid": list(static_grid),
+        "predictor_max_idle": predictor_max_idle,
+        "predictor_config": predictor_config,
+        "seed": args.seed,
+        "runs": {},
+    }
+    for name, (max_idle, timeouts) in variants.items():
+        workload = build_workload(
+            spec, n_flows=flows, locality=args.locality,
+            seed=args.seed,
+        )
+        trace = build_interarrival_mix_trace(
+            workload, profile, slow_gap_scale=slow_gap_scale,
+            dense_fraction=dense_fraction,
+            sparse_fraction=sparse_fraction,
+            seed=args.trace_seed,
+        )
+        telemetry = Telemetry(tracing=False)
+        config = SimConfig(
+            fast_path=True,
+            telemetry=telemetry,
+            max_idle=max_idle,
+            sweep_interval=sweep_interval,
+            window=sweep_interval,
+            timeouts=timeouts,
+        )
+        simulator = VSwitchSimulator(
+            workload.pipeline, _make_system("megaflow", capacity), config
+        )
+        start = time.perf_counter()
+        result = simulator.run(trace)
+        elapsed = time.perf_counter() - start
+        snapshots = telemetry.snapshots
+        mean_entries = (
+            sum(s.entry_count for s in snapshots) / len(snapshots)
+            if snapshots else 0.0
+        )
+        summary = simulator.timeout_predictor.summary()
+        expired = summary["expired"]
+        run = {
+            "max_idle": max_idle,
+            "predictor": summary["predictor"],
+            "seconds": round(elapsed, 3),
+            "packets_per_sec": round(result.packets / elapsed, 1),
+            "hit_rate": round(result.hit_rate, 6),
+            "insertions": result.stats.insertions,
+            "evictions": result.stats.evictions,
+            "mean_entries": round(mean_entries, 2),
+            "idle_expiries": expired,
+            "dead_evictions": summary["dead_evictions"],
+            "premature_evictions": summary["premature_evictions"],
+            "dead_ratio": round(
+                summary["dead_evictions"] / expired, 4
+            ) if expired else 0.0,
+            "mean_predicted": round(summary["mean_predicted"], 4),
+        }
+        report["runs"][name] = run
+        print(f"{name:12} max_idle={max_idle:>5.1f} "
+              f"hit_rate={run['hit_rate']:.4f}  "
+              f"entries~{run['mean_entries']:>7.1f}  "
+              f"dead={run['dead_evictions']:>6} "
+              f"premature={run['premature_evictions']:>5}")
+    static_best = max(
+        (name for name in report["runs"] if name.startswith("static_")),
+        key=lambda name: report["runs"][name]["hit_rate"],
+    )
+    best = report["runs"][static_best]
+    report["static_best"] = static_best
+    report["predictor_beats_static"] = bool(any(
+        report["runs"][name]["hit_rate"] > best["hit_rate"]
+        and report["runs"][name]["mean_entries"] <= best["mean_entries"]
+        for name in ("ewma", "qtable")
+    ))
+    print(f"predictors vs {static_best} "
+          f"(hit_rate={best['hit_rate']:.4f}) -> "
+          f"{'AHEAD' if report['predictor_beats_static'] else 'BEHIND'}")
+
+    with open(args.timeouts_output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.timeouts_output}")
+
+
 def _bench_evictions(args: argparse.Namespace, spec) -> None:
     """A/B the pluggable eviction policies under capacity pressure.
 
@@ -831,6 +1009,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
         sweep_interval=args.sweep_interval,
         telemetry=telemetry,
         controller=True if args.adaptive_controller else None,
+        timeouts=args.timeouts,
     )
     simulator = VSwitchSimulator(workload.pipeline, system, config)
     result = simulator.run(trace)
@@ -862,6 +1041,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
         }
         if controller is not None:
             payload["controller"] = controller.summary()
+        if simulator.timeout_predictor is not None:
+            payload["timeouts"] = simulator.timeout_predictor.summary()
         print(json.dumps(payload, indent=2))
     else:
         print(result.summary())
@@ -873,6 +1054,17 @@ def cmd_stats(args: argparse.Namespace) -> int:
             print(
                 f"controller: {digest['transitions']} transitions over "
                 f"{digest['sweeps']} sweeps; state={digest['state']}"
+            )
+        if simulator.timeout_predictor is not None:
+            digest = simulator.timeout_predictor.summary()
+            print()
+            print(
+                f"timeouts[{digest['predictor']}]: "
+                f"{digest['expired']} idle expiries "
+                f"({digest['dead_evictions']} dead, "
+                f"{digest['premature_evictions']} premature), "
+                f"mean_predicted={digest['mean_predicted']:.3f}s, "
+                f"aggressiveness={digest['aggressiveness']:.3f}"
             )
     if args.trace_out:
         telemetry.close()
@@ -1017,6 +1209,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget per sharded run before workers are "
              "killed (seconds, default 600)",
     )
+    bench.add_argument(
+        "--timeouts", action="store_true",
+        help="also A/B the per-rule timeout predictors (ewma, qtable) "
+             "against a static max_idle sweep on an "
+             "interarrival-heterogeneous trace",
+    )
+    bench.add_argument(
+        "--timeouts-output", default="BENCH_timeouts.json",
+        help="where to write the timeout-predictor comparison",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -1111,6 +1313,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(mode/K/placement/eviction-policy steering on the sweep "
              "cadence); its decisions appear as controller metrics, "
              "trace events and a summary section",
+    )
+    stats.add_argument(
+        "--timeouts", choices=_predictor_names(), default=None,
+        help="replace the global max_idle deadline with per-rule "
+             "predicted timeouts from this predictor (static keeps the "
+             "global deadline but records the expiry ledger)",
     )
     return parser
 

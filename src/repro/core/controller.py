@@ -28,6 +28,13 @@ adjusts four live knobs on the sweep cadence:
     bookkeeping, sharing-poor traffic does better with plain LRU.  While
     the sharing policy is active the controller also applies weight
     *decay* each sweep so stale reinforcement ages out.
+``timeout_scale``
+    The aggressiveness of an attached
+    :class:`~repro.core.timeouts.TimeoutPredictor` (the fifth eviction
+    axis): under occupancy pressure the controller scales every
+    predicted idle timeout down so dead entries free slots sooner, and
+    relaxes back toward the predictor's own view (scale 1.0) once
+    occupancy falls below the low watermark.
 
 Every decision is hysteretic twice over: watermarks separate the switch
 thresholds, and a condition must hold for ``dwell`` consecutive sweeps
@@ -57,6 +64,7 @@ __all__ = [
     "KNOB_PLACEMENT",
     "KNOB_POLICY",
     "KNOB_PROBE",
+    "KNOB_TIMEOUT",
 ]
 
 KNOB_MODE = "mode"
@@ -64,6 +72,7 @@ KNOB_K = "effective_k"
 KNOB_PLACEMENT = "placement"
 KNOB_POLICY = "eviction_policy"
 KNOB_PROBE = "probe_fraction"
+KNOB_TIMEOUT = "timeout_scale"
 
 MODE_DISJOINT = "disjoint"
 MODE_MEGAFLOW = "megaflow"
@@ -128,6 +137,16 @@ class ControllerConfig:
             the ramp; the governor restarts its integer cadence
             bookkeeping on every retune so the realised probe share
             tracks the live fraction exactly.
+        manage_timeout / timeout_scale_step / timeout_scale_min:
+            Timeout-aggressiveness control.  When the attached cache
+            carries a :class:`~repro.core.timeouts.TimeoutPredictor`,
+            occupancy at or above ``occupancy_high`` for ``dwell``
+            sweeps multiplies the predictor's aggressiveness by
+            ``timeout_scale_step`` (shorter timeouts, floored at
+            ``timeout_scale_min``); occupancy at or below
+            ``occupancy_low`` divides it back out (capped at 1.0 —
+            the controller never *lengthens* timeouts beyond the
+            prediction, which ``max_idle`` already bounds).
     """
 
     low_watermark: float = 0.25
@@ -152,6 +171,9 @@ class ControllerConfig:
     probe_floor: float = 0.05
     probe_ceiling: float = 0.5
     probe_ramp: float = 60.0
+    manage_timeout: bool = True
+    timeout_scale_step: float = 0.5
+    timeout_scale_min: float = 0.25
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.low_watermark <= self.high_watermark <= 1.0:
@@ -178,6 +200,10 @@ class ControllerConfig:
             )
         if self.probe_ramp <= 0:
             raise ValueError("probe_ramp must be positive")
+        if not 0.0 < self.timeout_scale_step < 1.0:
+            raise ValueError("timeout_scale_step must be in (0, 1)")
+        if not 0.0 < self.timeout_scale_min <= 1.0:
+            raise ValueError("timeout_scale_min must be in (0, 1]")
         for policy in (self.policy_weak, self.policy_strong):
             if policy not in POLICY_NAMES:
                 raise ValueError(
@@ -214,6 +240,7 @@ class AdaptiveController:
         self._last_ltm_hits: List[int] = []
         self._last_stats = (0, 0, 0)
         self._policy = None
+        self._timeout_pred = None
         # When the governor entered Megaflow mode (None while disjoint
         # or unknown) — the probe-fraction ramp's residency clock.
         self._mode_entered: Optional[float] = None
@@ -242,6 +269,9 @@ class AdaptiveController:
         )
         if self._tables:
             self._policy = getattr(cache, "eviction", None)
+        # Installed by the engine before attach (see _prepare_run), so
+        # the predictor is already wired when the loop starts.
+        self._timeout_pred = getattr(cache, "timeout_predictor", None)
 
     # -- signal extraction ------------------------------------------------------
 
@@ -458,6 +488,37 @@ class AdaptiveController:
             ):
                 self._switch_policy(cfg.policy_weak, now, signals)
 
+        predictor = self._timeout_pred
+        if (
+            cfg.manage_timeout
+            and predictor is not None
+            and occupancy is not None
+        ):
+            scale = predictor.aggressiveness
+            if scale > cfg.timeout_scale_min and self._hold(
+                (KNOB_TIMEOUT, "down"), occupancy >= cfg.occupancy_high
+            ):
+                target = max(
+                    round(scale * cfg.timeout_scale_step, 6),
+                    cfg.timeout_scale_min,
+                )
+                if predictor.set_aggressiveness(target):
+                    self._apply(
+                        KNOB_TIMEOUT, scale,
+                        predictor.aggressiveness, now, signals,
+                    )
+            elif scale < 1.0 and self._hold(
+                (KNOB_TIMEOUT, "up"), occupancy <= cfg.occupancy_low
+            ):
+                target = min(
+                    round(scale / cfg.timeout_scale_step, 6), 1.0
+                )
+                if predictor.set_aggressiveness(target):
+                    self._apply(
+                        KNOB_TIMEOUT, scale,
+                        predictor.aggressiveness, now, signals,
+                    )
+
         # Age sharing-aware weight state every sweep while it is live.
         for table in self._tables:
             policy = getattr(table, "policy", None)
@@ -501,6 +562,11 @@ class AdaptiveController:
                     if governor is not None
                     else None
                 ),
+                "timeout_scale": (
+                    self._timeout_pred.aggressiveness
+                    if self._timeout_pred is not None
+                    else None
+                ),
             },
             "last_signals": self.last_signals,
             "log": self.transitions[-50:],
@@ -511,7 +577,7 @@ def _encode(knob: str, value) -> float:
     """Stable numeric encoding of a knob value for the state gauge."""
     if knob == KNOB_MODE:
         return 1.0 if value == MODE_MEGAFLOW else 0.0
-    if knob == KNOB_K or knob == KNOB_PROBE:
+    if knob == KNOB_K or knob == KNOB_PROBE or knob == KNOB_TIMEOUT:
         return float(value)
     if knob == KNOB_PLACEMENT:
         return 1.0 if value == "earliest" else 0.0

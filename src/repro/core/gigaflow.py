@@ -155,6 +155,14 @@ class GigaflowCache(FlowCache):
             table.set_eviction_policy(table_policy)
         self.eviction = name
 
+    def set_timeout_predictor(self, predictor) -> None:
+        """Attach one shared predictor to the cache and all its LTM
+        tables (rule ids are globally unique, so key spaces cannot
+        collide across tables)."""
+        self.timeout_predictor = predictor
+        for table in self.tables:
+            table.predictor = predictor
+
     # -- lookup (the SmartNIC fast path) -----------------------------------------
 
     def lookup(self, flow: FlowKey, now: float = 0.0) -> CacheResult:
@@ -402,16 +410,38 @@ class GigaflowCache(FlowCache):
         """Remove rules idle *strictly* longer than ``max_idle``
         (``now - last_used > max_idle``); a rule idle for exactly
         ``max_idle`` survives — the same boundary contract as
-        :meth:`repro.cache.base.FlowCache.evict_idle`.  Returns the
-        number removed across all tables."""
+        :meth:`repro.cache.base.FlowCache.evict_idle`.  With a timeout
+        predictor attached the per-rule predicted timeout replaces
+        ``max_idle`` as the threshold (comparison stays strict).
+        Returns the number removed across all tables."""
+        pred = self.timeout_predictor
         evicted = 0
-        for table in self.tables:
-            stale = [
-                rule for rule in table if now - rule.last_used > max_idle
-            ]
-            for rule in stale:
-                table.remove(rule)
-            evicted += len(stale)
+        if pred is None:
+            for table in self.tables:
+                stale = [
+                    rule
+                    for rule in table
+                    if now - rule.last_used > max_idle
+                ]
+                for rule in stale:
+                    table.remove(rule)
+                evicted += len(stale)
+        else:
+            capacity = self.capacity_total()
+            pred.begin_sweep(
+                now, self.entry_count() / capacity if capacity else 0.0
+            )
+            for table in self.tables:
+                stale = []
+                for rule in table:
+                    timeout = pred.timeout_for(rule.identity())
+                    idle = now - rule.last_used
+                    if idle > timeout:
+                        stale.append((rule, idle, timeout))
+                for rule, idle, timeout in stale:
+                    pred.on_expire(rule.identity(), idle, now, timeout)
+                    table.remove(rule)
+                evicted += len(stale)
         self.stats.evictions += evicted
         if evicted:
             self.bump_epoch()

@@ -131,6 +131,11 @@ class LtmTable:
         #: All ``last_used`` updates must go through :meth:`touch` (or
         #: :meth:`share`) so the policy's view tracks use time.
         self.policy = make_policy(eviction, capacity)
+        #: Shared :class:`~repro.core.timeouts.TimeoutPredictor`
+        #: installed by ``GigaflowCache.set_timeout_predictor`` (or
+        #: ``None``).  :meth:`touch` is the single ``last_used`` writer,
+        #: so it is the one observation chokepoint.
+        self.predictor = None
 
     def set_eviction_policy(self, name: str) -> None:
         """Swap the victim-selection policy, re-seeding resident rules
@@ -178,12 +183,22 @@ class LtmTable:
         self._by_identity[identity] = rule
         self._by_id[rule.rule_id] = rule
         self.policy.on_insert(rule.rule_id, rule.last_used)
+        pred = self.predictor
+        if pred is not None:
+            # Keyed by value identity: rule_ids are minted fresh on every
+            # reinstall, but the identity names the *same* sub-traversal
+            # across evict/return cycles, which is what the ghost list
+            # and estimator state must survive.
+            pred.on_insert(identity, rule.last_used)
         return True
 
     def touch(self, rule: LtmRule, now: float) -> None:
         """Mark a rule used at ``now``; keeps the policy's recency view
         ordered.  Use times must be nondecreasing (the simulator's
         clock is)."""
+        pred = self.predictor
+        if pred is not None:
+            pred.observe(rule.identity(), now - rule.last_used, now)
         rule.last_used = now
         self.policy.on_hit(rule.rule_id, now)
 
@@ -207,8 +222,16 @@ class LtmTable:
         del self._by_identity[identity]
         del self._by_id[rule.rule_id]
         self.policy.on_remove(rule.rule_id)
+        pred = self.predictor
+        if pred is not None:
+            # Idle expiries already ran on_expire (forget is idempotent).
+            pred.forget(identity)
 
     def clear(self) -> None:
+        pred = self.predictor
+        if pred is not None:
+            for identity in self._by_identity:
+                pred.forget(identity)
         self._by_tag.clear()
         self._by_identity.clear()
         self._by_id.clear()

@@ -1,0 +1,599 @@
+"""Per-rule adaptive idle-timeout prediction — the fifth eviction axis.
+
+Every cache in the tree expires entries against one global ``max_idle``
+constant (§4.3.2's idle expiry).  HQTimer showed that *learned* timeout
+prediction — an EWMA of a rule's reuse interarrivals, or a small
+Q-table over discretized states — beats any static constant, and "Flow
+Correlator" argues flow-history models outperform static cache
+management generally.  This module adds that axis: a
+:class:`TimeoutPredictor` assigns each resident rule its *own* idle
+timeout, clamped to ``[min_idle, max_idle]``, and the caches consult it
+during their idle sweeps instead of the global constant.
+
+Three predictors ship:
+
+``static``
+    The baseline: every rule gets ``max_idle``.  Behaviourally
+    bit-identical to running without a predictor — the differential
+    contract ``tests/test_timeouts_golden.py`` pins.
+``ewma``
+    Per-rule EWMA of observed reuse interarrivals; the timeout is
+    ``grace × ewma`` (a rule reused every 0.1 s expires after ~0.3 s
+    idle instead of occupying a slot for the full ``max_idle``).
+``qtable``
+    A tiny Q-learning policy over discretized
+    (interarrival-bucket × occupancy-pressure) states choosing among a
+    geometric grid of timeout levels.  Rewards favour timeouts long
+    enough for the rule's next reuse but no longer: a reuse while
+    resident pays ``1 - slot_cost·(timeout/max_idle)``, an expiry that
+    was never reused costs ``dead_cost``, and an expiry whose key
+    returns within the ghost window (a *premature* eviction) costs
+    ``premature_cost``.  No dependencies, fully deterministic
+    (round-robin exploration, no RNG).
+
+The integration contract, shared by all four cache types:
+
+* **Off is free and identical.**  ``cache.timeout_predictor`` defaults
+  to ``None``; every hook site guards on it (the telemetry idiom), so
+  detached behaviour — including the strict idle boundary
+  ``now - last_used > max_idle`` — is bit-identical to a build without
+  this module.
+* **Strict boundary everywhere.**  Predicted timeouts replace the
+  *threshold*, never the comparison: expiry still requires
+  ``now - last_used > timeout`` (exactly-``timeout`` idle survives).
+* **Observation sites are the ``last_used`` writers.**  Wherever a
+  cache refreshes an entry's ``last_used`` (lookup hits, fast-path
+  replays, install refreshes, LTM ``touch``/``share``) it first offers
+  the predictor the elapsed interarrival, so EWMA state is identical
+  with the fast path on or off.
+* **Feedback is predictor-internal.**  Premature/dead counters and the
+  predicted-timeout histogram live on the predictor;
+  :meth:`~repro.obs.telemetry.Telemetry.attach_timeouts` delta-folds
+  them into the registry on the flush cadence, so ``LtmTable`` and
+  friends need no telemetry plumbing of their own.
+"""
+
+from __future__ import annotations
+
+import abc
+from bisect import bisect_left
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "EwmaTimeoutPredictor",
+    "PREDICTOR_NAMES",
+    "QTableTimeoutPredictor",
+    "StaticTimeoutPredictor",
+    "TIMEOUT_BUCKETS",
+    "TimeoutConfig",
+    "TimeoutPredictor",
+    "make_predictor",
+    "resolve_predictor",
+]
+
+#: Histogram bounds for predicted timeouts (mirrors the LRU-age
+#: buckets so the two distributions compare directly).
+TIMEOUT_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0)
+
+#: Ghost-list size bound: keys of recently idle-expired entries kept to
+#: detect premature evictions (reinstall-within-window).  FIFO beyond
+#: this; far above any per-sweep expiry count the simulator sees.
+GHOST_LIMIT = 4096
+
+#: Occupancy-pressure discretization (Q-table state component):
+#: ``< 0.5`` relaxed, ``< 0.85`` loaded, else saturated — the same
+#: watermarks the adaptive controller steers placement by.
+PRESSURE_BOUNDS = (0.5, 0.85)
+
+
+@dataclass
+class TimeoutConfig:
+    """Knobs shared by every predictor (see per-field docs).
+
+    Attributes:
+        predictor: Registered predictor name (:data:`PREDICTOR_NAMES`).
+        min_idle / max_idle: The clamp — every predicted timeout lands
+            in ``[min_idle, max_idle]``.  ``max_idle`` defaults to the
+            engine's ``SimConfig.max_idle`` at resolve time.
+        grace: EWMA timeout = ``grace × ewma_interarrival`` — the slack
+            multiple a rule's next reuse is granted over its mean gap.
+        ewma_alpha: EWMA smoothing weight for the newest interarrival.
+        cold_idle: Timeout for rules never yet reused (no interarrival
+            observed).  ``None`` falls back to ``max_idle`` — the
+            conservative choice matching static behaviour.
+        ghost_window: Seconds after an idle expiry during which the
+            key's return counts as a *premature* eviction.  ``None``
+            falls back to ``max_idle``.
+        q_actions: Timeout levels on the Q-table's geometric
+            ``min_idle → max_idle`` action grid.
+        q_alpha: Q-value learning rate (``Q += α(r − Q)``; rewards are
+            bounded, so Q-values stay within the reward range).
+        q_explore_every: Every N-th decision explores round-robin
+            instead of acting greedily (deterministic ε-greedy).
+        slot_cost: Reuse-reward shaping — the fraction of the +1 reuse
+            reward surrendered per unit of ``timeout / max_idle``, so
+            the shortest *sufficient* timeout wins ties.
+        dead_cost: Penalty when an expired entry was never reused
+            (it held a slot for nothing).
+        premature_cost: Penalty when an expired key returns within the
+            ghost window (the timeout was too short).
+    """
+
+    predictor: str = "ewma"
+    min_idle: float = 0.25
+    max_idle: Optional[float] = None
+    grace: float = 3.0
+    ewma_alpha: float = 0.3
+    cold_idle: Optional[float] = None
+    ghost_window: Optional[float] = None
+    q_actions: int = 5
+    q_alpha: float = 0.2
+    q_explore_every: int = 16
+    slot_cost: float = 0.25
+    dead_cost: float = 0.25
+    premature_cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.min_idle <= 0:
+            raise ValueError("min_idle must be positive")
+        if self.max_idle is not None and self.max_idle < self.min_idle:
+            raise ValueError("need min_idle <= max_idle")
+        if self.grace <= 0:
+            raise ValueError("grace must be positive")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.cold_idle is not None and self.cold_idle <= 0:
+            raise ValueError("cold_idle must be positive")
+        if self.ghost_window is not None and self.ghost_window <= 0:
+            raise ValueError("ghost_window must be positive")
+        if self.q_actions < 2:
+            raise ValueError("q_actions must be at least 2")
+        if not 0.0 < self.q_alpha <= 1.0:
+            raise ValueError("q_alpha must be in (0, 1]")
+        if self.q_explore_every < 2:
+            raise ValueError("q_explore_every must be at least 2")
+        for name in ("slot_cost", "dead_cost", "premature_cost"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+class TimeoutPredictor(abc.ABC):
+    """Per-rule idle-timeout assignment plus its feedback bookkeeping.
+
+    The base class owns everything predictor-independent: the
+    ``[min_idle, max_idle]`` clamp, the controller-tunable
+    :attr:`aggressiveness` scale, reuse tracking for dead-entry
+    detection, the ghost list for premature-eviction detection, and the
+    counters/histogram telemetry folds from.  Subclasses implement the
+    actual estimate via :meth:`_raw_timeout` and the ``_observe`` /
+    ``_feedback`` hooks.
+    """
+
+    name = "base"
+
+    def __init__(self, config: TimeoutConfig):
+        if config.max_idle is None:
+            raise ValueError(
+                "TimeoutConfig.max_idle unresolved — use "
+                "resolve_predictor() or set it explicitly"
+            )
+        self.config = config
+        self.min_idle = config.min_idle
+        self.max_idle = config.max_idle
+        self._ghost_window = (
+            config.ghost_window
+            if config.ghost_window is not None
+            else config.max_idle
+        )
+        #: Controller-tunable global scale in ``(0, 1]`` applied to the
+        #: raw prediction before clamping (1.0 = predictor's own view).
+        self._scale = 1.0
+        #: Occupancy-pressure bucket, refreshed by :meth:`begin_sweep`.
+        self._pressure = 0
+        #: Keys reused at least once since (re)install — an idle expiry
+        #: of a key *not* in here is a dead entry.
+        self._reused: set = set()
+        #: key → (expiry time, subclass payload) of recent idle
+        #: expiries, FIFO-bounded; consulted by :meth:`on_insert`.
+        self._ghosts: "OrderedDict" = OrderedDict()
+        # -- counters telemetry delta-folds (attach_timeouts) --------
+        self.observations = 0
+        self.expired = 0
+        self.dead_evictions = 0
+        self.premature_evictions = 0
+        self.hist_counts: List[int] = [0] * (len(TIMEOUT_BUCKETS) + 1)
+        self.hist_sum = 0.0
+
+    # -- the clamp + scale ----------------------------------------------------
+
+    @property
+    def aggressiveness(self) -> float:
+        """The controller-tunable scale: < 1 shortens every timeout."""
+        return self._scale
+
+    def set_aggressiveness(self, scale: float) -> bool:
+        """Set the global timeout scale; returns True when it changed."""
+        scale = min(max(float(scale), 1e-6), 1.0)
+        if scale == self._scale:
+            return False
+        self._scale = scale
+        return True
+
+    def _clamp(self, raw: float) -> float:
+        value = raw * self._scale
+        if value < self.min_idle:
+            return self.min_idle
+        if value > self.max_idle:
+            return self.max_idle
+        return value
+
+    # -- cache-facing hooks ---------------------------------------------------
+
+    def begin_sweep(self, now: float, occupancy: float) -> None:
+        """Refresh the occupancy-pressure state; called by each cache
+        at the top of its idle sweep."""
+        self._pressure = bisect_left(PRESSURE_BOUNDS, occupancy)
+
+    def timeout_for(self, key) -> float:
+        """The idle timeout for ``key``, in ``[min_idle, max_idle]``."""
+        return self._clamp(self._raw_timeout(key))
+
+    def observe(self, key, gap: float, now: float) -> None:
+        """``key`` was reused ``gap`` seconds after its previous use.
+
+        Called by every ``last_used`` writer *before* the refresh, so
+        the gap is the true interarrival.
+        """
+        self.observations += 1
+        self._reused.add(key)
+        self._observe(key, gap)
+
+    def on_insert(self, key, now: float) -> None:
+        """A new entry for ``key`` was installed; detects premature
+        evictions via the ghost list."""
+        ghost = self._ghosts.pop(key, None)
+        if ghost is not None and now - ghost[0] <= self._ghost_window:
+            self.premature_evictions += 1
+            self._feedback(ghost[1], -self.config.premature_cost)
+            # The key came straight back: the eviction was wrong, so
+            # restore the estimator state the expiry dropped — without
+            # this, a slow flow whose timeout under-shoots its gap
+            # would relearn from cold (and mispredict again) forever.
+            self._on_return(key, ghost[1])
+            # The return also reveals the true interarrival the cache
+            # never witnessed as a hit: the idle time accrued before
+            # expiry plus the time spent evicted.  Feeding it to the
+            # estimator lets slow flows escape the cold bucket even
+            # when their gap exceeds every timeout tried so far.
+            self.observations += 1
+            self._observe(key, ghost[2] + (now - ghost[0]))
+        self._reused.discard(key)
+
+    def on_expire(self, key, idle: float, now: float, timeout: float) -> None:
+        """The idle sweep expired ``key`` after ``idle`` seconds under
+        predicted ``timeout``; records the histogram, dead-entry
+        verdict and ghost, then drops the key's estimator state."""
+        self.expired += 1
+        self.hist_counts[bisect_left(TIMEOUT_BUCKETS, timeout)] += 1
+        self.hist_sum += timeout
+        dead = key not in self._reused
+        if dead:
+            self.dead_evictions += 1
+        self._reused.discard(key)
+        payload = self._ghost_payload(key)
+        if len(self._ghosts) >= GHOST_LIMIT:
+            self._ghosts.popitem(last=False)
+        self._ghosts[key] = (now, payload, idle)
+        if dead:
+            self._feedback(payload, -self.config.dead_cost)
+        self._drop(key)
+
+    def forget(self, key) -> None:
+        """``key`` left the cache for a non-idle reason (capacity
+        victim, revalidation, clear); drop state without feedback."""
+        self._reused.discard(key)
+        self._drop(key)
+
+    def clear(self) -> None:
+        """Drop all per-key state (learned global state survives)."""
+        self._reused.clear()
+        self._ghosts.clear()
+        self._drop_all()
+
+    # -- subclass surface -----------------------------------------------------
+
+    @abc.abstractmethod
+    def _raw_timeout(self, key) -> float:
+        """The unclamped, unscaled timeout estimate for ``key``."""
+
+    def _observe(self, key, gap: float) -> None:
+        """Fold one interarrival observation into the estimator."""
+
+    def _feedback(self, payload, reward: float) -> None:
+        """Outcome feedback for a past decision (Q-learning hook)."""
+
+    def _ghost_payload(self, key):
+        """Estimator/decision context to remember with ``key``'s ghost
+        entry (restored by :meth:`_on_return` on premature returns)."""
+        return None
+
+    def _on_return(self, key, payload) -> None:
+        """``key`` was reinstalled within the ghost window; restore the
+        estimator state its expiry dropped."""
+
+    def _drop(self, key) -> None:
+        """Drop per-key estimator state (must be idempotent)."""
+
+    def _drop_all(self) -> None:
+        """Drop every key's estimator state."""
+
+    # -- reporting ------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Digest merged into ``SimResult.telemetry["timeouts"]``."""
+        return {
+            "predictor": self.name,
+            "aggressiveness": self._scale,
+            "observations": self.observations,
+            "expired": self.expired,
+            "dead_evictions": self.dead_evictions,
+            "premature_evictions": self.premature_evictions,
+            "mean_predicted": (
+                self.hist_sum / self.expired if self.expired else 0.0
+            ),
+        }
+
+
+class StaticTimeoutPredictor(TimeoutPredictor):
+    """The baseline: every rule gets the global ``max_idle``.
+
+    With ``aggressiveness`` at its 1.0 default this is bit-identical to
+    running without a predictor (the golden-test contract); the
+    controller can still scale it down under pressure.
+    """
+
+    name = "static"
+
+    def _raw_timeout(self, key) -> float:
+        return self.max_idle
+
+
+class EwmaTimeoutPredictor(TimeoutPredictor):
+    """EWMA-of-interarrival timeouts: ``grace × ewma(gap)`` per rule."""
+
+    name = "ewma"
+
+    def __init__(self, config: TimeoutConfig):
+        super().__init__(config)
+        self._ewma: Dict[object, float] = {}
+        self._cold = (
+            config.cold_idle
+            if config.cold_idle is not None
+            else config.max_idle
+        )
+
+    def _observe(self, key, gap: float) -> None:
+        ewma = self._ewma.get(key)
+        if ewma is None:
+            self._ewma[key] = gap
+        else:
+            alpha = self.config.ewma_alpha
+            self._ewma[key] = alpha * gap + (1.0 - alpha) * ewma
+
+    def _raw_timeout(self, key) -> float:
+        ewma = self._ewma.get(key)
+        if ewma is None:
+            return self._cold
+        return self.config.grace * ewma
+
+    def estimate(self, key) -> Optional[float]:
+        """The current EWMA interarrival for ``key`` (None when cold)."""
+        return self._ewma.get(key)
+
+    def _ghost_payload(self, key):
+        return self._ewma.get(key)
+
+    def _on_return(self, key, payload) -> None:
+        if payload is not None and key not in self._ewma:
+            self._ewma[key] = payload
+
+    def _drop(self, key) -> None:
+        self._ewma.pop(key, None)
+
+    def _drop_all(self) -> None:
+        self._ewma.clear()
+
+
+class QTableTimeoutPredictor(TimeoutPredictor):
+    """A small deterministic Q-table over
+    (interarrival-bucket × pressure) states and a geometric timeout
+    action grid.
+
+    Per state the policy is greedy over Q with ties broken toward the
+    *longest* timeout (fresh states behave like static), except every
+    ``q_explore_every``-th decision, which cycles the actions
+    round-robin — ε-greedy without randomness, so runs stay
+    reproducible.  Rewards are bounded (see :class:`TimeoutConfig`), and
+    since the update is the convex combination ``Q += α(r − Q)``,
+    Q-values never leave the reward range — the invariant the property
+    tests pin.
+    """
+
+    name = "qtable"
+
+    #: Interarrival-bucket state component: cold rules (no observation
+    #: yet) get bucket -1.
+    COLD_BUCKET = -1
+
+    def __init__(self, config: TimeoutConfig):
+        super().__init__(config)
+        n = config.q_actions
+        lo, hi = config.min_idle, config.max_idle
+        ratio = (hi / lo) ** (1.0 / (n - 1)) if hi > lo else 1.0
+        #: The action grid: geometric ``min_idle → max_idle``.
+        self.action_timeouts: Tuple[float, ...] = tuple(
+            min(lo * ratio**i, hi) for i in range(n)
+        )
+        #: Interarrival discretization: the action grid's midpoints.
+        self.gap_bounds: Tuple[float, ...] = self.action_timeouts[:-1]
+        #: state → per-action Q estimates.
+        self.q: Dict[Tuple[int, int], List[float]] = {}
+        self._ewma: Dict[object, float] = {}
+        #: key → (state, action) of its latest sweep decision, consumed
+        #: by the first feedback event (reuse, dead expiry, premature).
+        self._assigned: Dict[object, Tuple[Tuple[int, int], int]] = {}
+        self._decisions = 0
+
+    # -- state/action plumbing ------------------------------------------------
+
+    def _gap_bucket(self, key) -> int:
+        ewma = self._ewma.get(key)
+        if ewma is None:
+            return self.COLD_BUCKET
+        return bisect_left(self.gap_bounds, ewma)
+
+    def _values(self, state: Tuple[int, int]) -> List[float]:
+        values = self.q.get(state)
+        if values is None:
+            values = [0.0] * len(self.action_timeouts)
+            self.q[state] = values
+        return values
+
+    def greedy_action(self, state: Tuple[int, int]) -> int:
+        """Argmax over Q, ties toward the longest (safest) timeout."""
+        values = self._values(state)
+        best = len(values) - 1
+        for i in range(len(values) - 2, -1, -1):
+            if values[i] > values[best]:
+                best = i
+        return best
+
+    def _raw_timeout(self, key) -> float:
+        state = (self._gap_bucket(key), self._pressure)
+        self._decisions += 1
+        if self._decisions % self.config.q_explore_every == 0:
+            action = (
+                self._decisions // self.config.q_explore_every
+            ) % len(self.action_timeouts)
+        else:
+            action = self.greedy_action(state)
+        self._assigned[key] = (state, action)
+        return self.action_timeouts[action]
+
+    def _update(self, state: Tuple[int, int], action: int, reward: float):
+        values = self._values(state)
+        alpha = self.config.q_alpha
+        values[action] += alpha * (reward - values[action])
+
+    # -- feedback -------------------------------------------------------------
+
+    def _observe(self, key, gap: float) -> None:
+        ewma = self._ewma.get(key)
+        if ewma is None:
+            self._ewma[key] = gap
+        else:
+            alpha = self.config.ewma_alpha
+            self._ewma[key] = alpha * gap + (1.0 - alpha) * ewma
+        assigned = self._assigned.pop(key, None)
+        if assigned is not None:
+            state, action = assigned
+            timeout = self.action_timeouts[action]
+            reward = 1.0 - self.config.slot_cost * (
+                timeout / self.max_idle
+            )
+            self._update(state, action, reward)
+
+    def _feedback(self, payload, reward: float) -> None:
+        assigned = payload[0] if payload is not None else None
+        if assigned is not None:
+            state, action = assigned
+            self._update(state, action, reward)
+
+    def _ghost_payload(self, key):
+        return (self._assigned.get(key), self._ewma.get(key))
+
+    def _on_return(self, key, payload) -> None:
+        if payload[1] is not None and key not in self._ewma:
+            self._ewma[key] = payload[1]
+
+    def _drop(self, key) -> None:
+        self._ewma.pop(key, None)
+        self._assigned.pop(key, None)
+
+    def _drop_all(self) -> None:
+        self._ewma.clear()
+        self._assigned.clear()
+
+    def summary(self) -> dict:
+        digest = super().summary()
+        digest["states"] = len(self.q)
+        digest["decisions"] = self._decisions
+        return digest
+
+
+TIMEOUT_PREDICTORS = {
+    "static": StaticTimeoutPredictor,
+    "ewma": EwmaTimeoutPredictor,
+    "qtable": QTableTimeoutPredictor,
+}
+
+#: Registered predictor names, CLI choices order.
+PREDICTOR_NAMES = tuple(TIMEOUT_PREDICTORS)
+
+
+def make_predictor(
+    name: str, config: Optional[TimeoutConfig] = None
+) -> TimeoutPredictor:
+    """Build the predictor registered under ``name``."""
+    cls = TIMEOUT_PREDICTORS.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown timeout predictor {name!r} "
+            f"(known: {', '.join(PREDICTOR_NAMES)})"
+        )
+    return cls(config if config is not None else TimeoutConfig(
+        predictor=name, max_idle=10.0
+    ))
+
+
+def resolve_predictor(spec, default_max_idle: float) -> TimeoutPredictor:
+    """Resolve ``SimConfig.timeouts`` into a predictor instance.
+
+    ``spec`` may be a predictor name, a :class:`TimeoutConfig` (its
+    ``predictor`` field names the class), or an already-built
+    :class:`TimeoutPredictor` (returned as-is).  A ``max_idle`` left
+    unset on the config resolves to ``default_max_idle`` — the engine's
+    global idle constant, which must be positive for sweeps to fire at
+    all.
+    """
+    if isinstance(spec, TimeoutPredictor):
+        return spec
+    if isinstance(spec, TimeoutConfig):
+        config = spec
+        name = config.predictor
+    elif isinstance(spec, str):
+        name = spec
+        config = TimeoutConfig(predictor=name)
+    else:
+        raise TypeError(
+            f"timeouts must be a predictor name, TimeoutConfig or "
+            f"TimeoutPredictor, got {type(spec).__name__}"
+        )
+    if config.max_idle is None:
+        if default_max_idle <= 0:
+            raise ValueError(
+                "timeout prediction needs max_idle > 0 (idle sweeps "
+                "never fire otherwise)"
+            )
+        config = _replace_max_idle(config, default_max_idle)
+    return make_predictor(name, config)
+
+
+def _replace_max_idle(
+    config: TimeoutConfig, max_idle: float
+) -> TimeoutConfig:
+    from dataclasses import replace
+
+    return replace(config, max_idle=max_idle)

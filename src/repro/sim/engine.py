@@ -250,6 +250,22 @@ class SimConfig:
             (``tests/test_sharded.py`` pins it differentially).
             Ignored for :meth:`VSwitchSimulator.run_packets` callers,
             which stream arbitrary packet iterables.
+        timeouts: Optional per-rule adaptive idle-timeout predictor
+            (:mod:`repro.core.timeouts`).  Accepts a predictor name
+            (:data:`~repro.core.timeouts.PREDICTOR_NAMES`: ``"static"``,
+            ``"ewma"``, ``"qtable"``), a
+            :class:`~repro.core.timeouts.TimeoutConfig`, or a pre-built
+            :class:`~repro.core.timeouts.TimeoutPredictor` instance
+            (also exposed as
+            :attr:`VSwitchSimulator.timeout_predictor`).  When set, idle
+            sweeps expire each rule against its own predicted timeout in
+            ``[min_idle, max_idle]`` instead of the global ``max_idle``
+            (which then caps the prediction and must be positive).
+            ``None`` (default) keeps the classic global-constant sweep
+            bit-identical to earlier trees; ``"static"`` is its
+            predictor-framework twin, pinned bit-identical by
+            ``tests/test_timeouts_golden.py``.  Sharded runs build one
+            private predictor per worker.
         shards: Worker count for :class:`~repro.sim.sharded.ShardedSimulator`
             (1 = the classic single-process engine).  Plain
             :class:`VSwitchSimulator` ignores it; the sharded driver
@@ -266,6 +282,7 @@ class SimConfig:
     telemetry: Optional[Telemetry] = None
     eviction: Optional[str] = None
     controller: object = None
+    timeouts: object = None
     batch: bool = True
     shards: int = 1
 
@@ -288,6 +305,9 @@ class VSwitchSimulator:
         #: The adaptive controller of the most recent run (None when
         #: disabled) — exposes its transition log and final knob state.
         self.controller = None
+        #: The timeout predictor of the most recent run (None when
+        #: disabled) — exposes its counters and learned state.
+        self.timeout_predictor = None
 
     def run(self, trace: Trace) -> SimResult:
         if self.config.batch and hasattr(trace, "columns"):
@@ -311,6 +331,15 @@ class VSwitchSimulator:
         cache = system.cache
         if config.eviction is not None:
             cache.set_eviction_policy(config.eviction)
+        predictor = None
+        if config.timeouts is not None:
+            from ..core.timeouts import resolve_predictor
+
+            predictor = resolve_predictor(config.timeouts, config.max_idle)
+            # Installed before the controller attaches so it can pick
+            # the predictor up as its timeout-aggressiveness knob.
+            cache.set_timeout_predictor(predictor)
+        self.timeout_predictor = predictor
         tel = config.telemetry
         ctl = None
         if config.controller is not None and config.controller is not False:
@@ -348,6 +377,8 @@ class VSwitchSimulator:
         )
         if tel is not None and self.fastpath is not None:
             tel.attach_fastpath(self.fastpath)
+        if tel is not None and predictor is not None:
+            tel.attach_timeouts(predictor)
         lookup = (
             self.fastpath.lookup if self.fastpath is not None
             else cache.lookup
@@ -379,6 +410,10 @@ class VSwitchSimulator:
             telemetry_summary = tel.summary()
             if ctl is not None:
                 telemetry_summary["controller"] = ctl.summary()
+            if self.timeout_predictor is not None:
+                telemetry_summary["timeouts"] = (
+                    self.timeout_predictor.summary()
+                )
 
         stats = cache.stats.snapshot()
         misses = stats.misses

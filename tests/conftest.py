@@ -62,6 +62,38 @@ def rule(values, masks=None, priority=10, actions=(), next_table=None):
     )
 
 
+def seeded_workload(n_flows=220, locality="high", seed=11):
+    """The seeded PSC pipebench workload every end-to-end test drives.
+
+    One definition instead of a copy per module (previously duplicated
+    across ``test_sharded``, ``test_trace_analyze`` and
+    ``test_controller``): same pipeline (PSC), same default seed, so
+    goldens captured against it stay comparable across test files.
+    """
+    from repro.pipeline import PSC
+    from repro.workload import build_workload
+
+    return build_workload(
+        PSC, n_flows=n_flows, locality=locality, seed=seed
+    )
+
+
+def seeded_trace(
+    workload, mean_flow_size=24.0, duration=6.0, seed=3, **profile_kwargs
+):
+    """A fixed-seed trace from :func:`seeded_workload`'s output."""
+    from repro.workload import TraceProfile
+
+    return workload.trace(
+        profile=TraceProfile(
+            mean_flow_size=mean_flow_size,
+            duration=duration,
+            **profile_kwargs,
+        ),
+        seed=seed,
+    )
+
+
 @pytest.fixture
 def mini_pipeline() -> Pipeline:
     """The four-stage pipeline described in the module docstring with one

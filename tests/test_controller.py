@@ -25,7 +25,7 @@ import pathlib
 
 import pytest
 
-from conftest import flow
+from conftest import flow, seeded_workload
 from repro.cache.eviction import SharingAwarePolicy
 from repro.core.adaptive import (
     AdaptiveConfig,
@@ -44,7 +44,6 @@ from repro.core.partition import megaflow_partition
 from repro.core.rulegen import build_ltm_rules
 from repro.obs import Telemetry
 from repro.obs.trace import EV_CONTROLLER
-from repro.pipeline import PSC
 from repro.sim import (
     AdaptiveGigaflowSystem,
     GigaflowSystem,
@@ -53,11 +52,7 @@ from repro.sim import (
     SimConfig,
     VSwitchSimulator,
 )
-from repro.workload import (
-    TraceProfile,
-    build_locality_shift_trace,
-    build_workload,
-)
+from repro.workload import TraceProfile, build_locality_shift_trace
 
 SRC_ROOT = pathlib.Path(__file__).resolve().parent.parent / "src"
 
@@ -533,7 +528,7 @@ class TestConvergence:
         """On the sharing-rich -> sharing-poor trace the loop must (a)
         flip to Megaflow mode after the shift and (b) not lose to the
         static Gigaflow configuration it started as."""
-        workload = build_workload(PSC, n_flows=1200, locality="high", seed=7)
+        workload = seeded_workload(n_flows=1200, seed=7)
         profile = TraceProfile(
             mean_flow_size=12.0, duration=60.0, mean_packet_gap=4.0
         )
@@ -644,7 +639,7 @@ class TestControllerOffIsBitIdentical:
 
     @staticmethod
     def _digest(system, max_idle, locality):
-        workload = build_workload(PSC, n_flows=400, locality=locality, seed=11)
+        workload = seeded_workload(n_flows=400, locality=locality)
         trace = workload.trace(seed=3)
         config = SimConfig(
             max_idle=max_idle, sweep_interval=2.0, fast_path=True

@@ -26,9 +26,9 @@ import time
 
 import pytest
 
+from conftest import seeded_trace, seeded_workload
 from test_obs import result_fingerprint
 from repro.obs import Telemetry
-from repro.pipeline import PSC
 from repro.sim import (
     GigaflowSystem,
     MegaflowSystem,
@@ -43,19 +43,10 @@ from repro.sim import (
     shard_seed,
     split_trace,
 )
-from repro.workload import TraceProfile, build_workload
-
-N_FLOWS = 220
-
-
-def small_workload(seed=11):
-    return build_workload(PSC, n_flows=N_FLOWS, locality="high", seed=seed)
-
-
-def small_trace(workload, seed=3):
-    return workload.trace(
-        profile=TraceProfile(mean_flow_size=24.0, duration=6.0), seed=seed
-    )
+# The conftest defaults (220 flows, 24-packet flows over 6 s) are this
+# module's numbers — goldens here were captured against them.
+small_workload = seeded_workload
+small_trace = seeded_trace
 
 
 def gigaflow_factory(context):

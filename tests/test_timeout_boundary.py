@@ -1,0 +1,153 @@
+"""Strict idle-boundary contract, to the ulp, on all four cache types.
+
+``evict_idle`` expires an entry only when ``now - last_used > timeout``
+— an entry idle for *exactly* its timeout survives the sweep.  The
+timeout predictor replaces the threshold, never the comparison, so the
+contract must hold in three regimes, each pinned here for Microflow,
+Megaflow, Gigaflow and the hierarchy:
+
+* detached (``timeout_predictor is None``): the global ``max_idle``
+  is the threshold, strict to one ulp either side;
+* a uniform predictor: same boundary, now routed through
+  ``timeout_for`` and ``on_expire``;
+* per-rule overrides: each entry expires at its *own* deadline — one
+  ulp past the short entry's timeout removes only it, the rest hold to
+  theirs.
+
+``tests/test_eviction_policies.py::TestIdleBoundaryContract`` pins the
+coarser (+1e-9) detached boundary; this file sharpens it to
+``math.nextafter`` and extends it across the predictor hook sites.
+"""
+
+import math
+
+import pytest
+
+from conftest import flow
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.megaflow import MegaflowCache
+from repro.cache.microflow import MicroflowCache
+from repro.core.gigaflow import GigaflowCache
+from repro.core.timeouts import (
+    StaticTimeoutPredictor,
+    TimeoutConfig,
+    resolve_predictor,
+)
+from repro.flow import ActionList, Output
+
+from test_eviction_policies import ltm_rule, mega_entry
+
+MAX_IDLE = 5.0
+#: The short per-rule override deadline in the mapped-predictor tests.
+SHORT = 2.0
+
+JUST_UNDER = math.nextafter(MAX_IDLE, 0.0)
+JUST_OVER = math.nextafter(MAX_IDLE, math.inf)
+
+
+class MappedTimeoutPredictor(StaticTimeoutPredictor):
+    """Test double: explicit per-key deadlines, ``max_idle`` default."""
+
+    name = "mapped"
+
+    def __init__(self, overrides):
+        super().__init__(
+            TimeoutConfig(predictor="static", max_idle=MAX_IDLE)
+        )
+        self._overrides = dict(overrides)
+
+    def _raw_timeout(self, key):
+        return self._overrides.get(key, self.max_idle)
+
+
+def build_microflow():
+    cache = MicroflowCache(capacity=8)
+    a, b = flow(tp_dst=1), flow(tp_dst=2)
+    cache.install(a, ActionList((Output(1),)), now=0.0)
+    cache.install(b, ActionList((Output(1),)), now=0.0)
+    return cache, (a.values, b.values)
+
+
+def build_megaflow():
+    cache = MegaflowCache(capacity=8)
+    a, b = mega_entry(tp_dst=1), mega_entry(tp_dst=2)
+    cache.install(a, now=0.0)
+    cache.install(b, now=0.0)
+    return cache, (a.match, b.match)
+
+
+def build_gigaflow():
+    cache = GigaflowCache(num_tables=2, table_capacity=8)
+    a, b = ltm_rule(tp_dst=1), ltm_rule(tp_dst=2)
+    cache.install_rules([a])
+    cache.install_rules([b])
+    return cache, (a.identity(), b.identity())
+
+
+def build_hierarchy():
+    cache = CacheHierarchy(microflow_capacity=8, megaflow_capacity=8)
+    f, e = flow(tp_dst=1), mega_entry(tp_dst=2)
+    cache.microflow.install(f, ActionList((Output(1),)), now=0.0)
+    cache.megaflow.install(e, now=0.0)
+    return cache, (f.values, e.match)
+
+
+BUILDERS = {
+    "microflow": build_microflow,
+    "megaflow": build_megaflow,
+    "gigaflow": build_gigaflow,
+    "hierarchy": build_hierarchy,
+}
+
+
+@pytest.mark.parametrize("kind", sorted(BUILDERS))
+class TestDetachedBoundaryToTheUlp:
+    def test_exactly_max_idle_survives_one_ulp_past_expires(self, kind):
+        cache, _ = BUILDERS[kind]()
+        population = cache.entry_count()
+        assert population == 2
+        assert cache.evict_idle(JUST_UNDER, MAX_IDLE) == 0
+        assert cache.evict_idle(MAX_IDLE, MAX_IDLE) == 0
+        assert cache.entry_count() == population
+        assert cache.evict_idle(JUST_OVER, MAX_IDLE) == population
+        assert cache.entry_count() == 0
+
+
+@pytest.mark.parametrize("kind", sorted(BUILDERS))
+class TestPredictedBoundaryToTheUlp:
+    """Same boundary, now routed through ``timeout_for``/``on_expire``:
+    the predictor supplies the threshold, the comparison stays strict."""
+
+    def test_uniform_predictor_keeps_the_boundary(self, kind):
+        cache, _ = BUILDERS[kind]()
+        predictor = resolve_predictor("static", MAX_IDLE)
+        cache.set_timeout_predictor(predictor)
+        population = cache.entry_count()
+        assert cache.evict_idle(JUST_UNDER, MAX_IDLE) == 0
+        assert cache.evict_idle(MAX_IDLE, MAX_IDLE) == 0
+        assert predictor.expired == 0
+        assert cache.evict_idle(JUST_OVER, MAX_IDLE) == population
+        assert cache.entry_count() == 0
+        assert predictor.expired == population
+
+    def test_per_rule_override_expires_each_at_its_own_deadline(
+        self, kind
+    ):
+        cache, (key_a, key_b) = BUILDERS[kind]()
+        predictor = MappedTimeoutPredictor({key_a: SHORT})
+        cache.set_timeout_predictor(predictor)
+        # Exactly SHORT idle: the overridden entry survives (strict).
+        assert cache.evict_idle(SHORT, MAX_IDLE) == 0
+        assert cache.entry_count() == 2
+        # One ulp past SHORT: only the overridden entry expires.
+        assert cache.evict_idle(
+            math.nextafter(SHORT, math.inf), MAX_IDLE
+        ) == 1
+        assert cache.entry_count() == 1
+        assert predictor.expired == 1
+        # The other entry holds to the default deadline...
+        assert cache.evict_idle(MAX_IDLE, MAX_IDLE) == 0
+        # ...and goes one ulp past it.
+        assert cache.evict_idle(JUST_OVER, MAX_IDLE) == 1
+        assert cache.entry_count() == 0
+        assert predictor.expired == 2

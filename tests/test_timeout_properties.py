@@ -1,0 +1,355 @@
+"""Property-based tests for the per-rule timeout predictors.
+
+Fuzzes the estimators in :mod:`repro.core.timeouts` against the
+invariants their contracts promise:
+
+* the **clamp**: every predicted timeout lands in
+  ``[min_idle, max_idle]`` — for every predictor, any observation
+  history, any aggressiveness scale, any occupancy pressure;
+* the **EWMA** estimate is a convex combination of the observed
+  interarrivals, so it stays within their ``[min, max]`` envelope;
+* **Q-values stay bounded**: rewards live in
+  ``[-max(premature_cost, dead_cost), 1]`` and the update is the convex
+  combination ``Q += α(r − Q)``, so no event sequence can push a
+  Q-value outside the reward range;
+* the Q-table **converges on a stationary flow mix**: under steady
+  per-class interarrivals the greedy policy grants the sparse class a
+  timeout covering its gap while the dense class settles on a cheaper
+  level;
+* the adaptive controller's ``timeout_scale`` knob lowers predictor
+  aggressiveness under occupancy pressure (with dwell hysteresis) and
+  relaxes it back once pressure clears.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.cache.megaflow import MegaflowCache
+from repro.core.controller import (
+    KNOB_TIMEOUT,
+    AdaptiveController,
+    ControllerConfig,
+)
+from repro.core.timeouts import (
+    PREDICTOR_NAMES,
+    EwmaTimeoutPredictor,
+    QTableTimeoutPredictor,
+    TimeoutConfig,
+    make_predictor,
+    resolve_predictor,
+)
+
+GAPS = st.lists(
+    st.floats(
+        min_value=1e-3,
+        max_value=1e3,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    min_size=1,
+    max_size=60,
+)
+KEYS = st.integers(0, 5)
+SCALES = st.floats(min_value=1e-6, max_value=1.0)
+OCCUPANCIES = st.floats(min_value=0.0, max_value=1.0)
+
+#: (event, key, gap) op codes for the bounded-Q fuzz: observations,
+#: sweep decisions, expiries and reinstalls in arbitrary order.
+Q_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(("observe", "decide", "expire", "insert")),
+        KEYS,
+        st.floats(min_value=1e-3, max_value=50.0),
+    ),
+    max_size=120,
+)
+
+
+def config(**overrides):
+    base = dict(min_idle=0.25, max_idle=16.0)
+    base.update(overrides)
+    return TimeoutConfig(**base)
+
+
+class TestClampInvariant:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        name=st.sampled_from(PREDICTOR_NAMES),
+        observations=st.lists(st.tuples(KEYS, GAPS), max_size=8),
+        scale=SCALES,
+        occupancy=OCCUPANCIES,
+    )
+    def test_timeout_always_in_bounds(
+        self, name, observations, scale, occupancy
+    ):
+        predictor = make_predictor(name, config(predictor=name))
+        now = 0.0
+        for key, gaps in observations:
+            for gap in gaps:
+                now += gap
+                predictor.observe(key, gap, now)
+        predictor.set_aggressiveness(scale)
+        predictor.begin_sweep(now, occupancy)
+        for key in range(6):
+            timeout = predictor.timeout_for(key)
+            assert predictor.min_idle <= timeout <= predictor.max_idle
+
+    def test_resolve_inherits_engine_max_idle(self):
+        predictor = resolve_predictor("ewma", 7.5)
+        assert predictor.max_idle == 7.5
+        assert predictor.timeout_for("cold") <= 7.5
+
+    def test_resolve_rejects_disabled_idle_sweeps(self):
+        with pytest.raises(ValueError):
+            resolve_predictor("ewma", 0.0)
+
+
+class TestEwmaEnvelope:
+    @settings(max_examples=80, deadline=None)
+    @given(gaps=GAPS)
+    def test_estimate_stays_within_observed_envelope(self, gaps):
+        predictor = EwmaTimeoutPredictor(config(predictor="ewma"))
+        now = 0.0
+        for gap in gaps:
+            now += gap
+            predictor.observe("flow", gap, now)
+        estimate = predictor.estimate("flow")
+        # Tiny relative slack: the convex combination is exact in real
+        # arithmetic but each fold rounds twice in floating point.
+        tol = 1e-9 * max(abs(g) for g in gaps)
+        assert min(gaps) - tol <= estimate <= max(gaps) + tol
+
+    @settings(max_examples=40, deadline=None)
+    @given(gaps=GAPS)
+    def test_ghost_return_restores_estimator_state(self, gaps):
+        """An idle expiry whose key comes straight back must not reset
+        the flow to the cold bucket."""
+        predictor = EwmaTimeoutPredictor(config(predictor="ewma"))
+        now = 0.0
+        predictor.on_insert("flow", now)
+        for gap in gaps:
+            now += gap
+            predictor.observe("flow", gap, now)
+        timeout = predictor.timeout_for("flow")
+        predictor.on_expire("flow", timeout + 0.1, now, timeout)
+        assert predictor.estimate("flow") is None
+        predictor.on_insert("flow", now + 0.1)
+        assert predictor.premature_evictions == 1
+        assert predictor.estimate("flow") is not None
+
+    def test_constant_gap_converges_to_the_gap(self):
+        predictor = EwmaTimeoutPredictor(config(predictor="ewma"))
+        now = 0.0
+        for _ in range(50):
+            now += 2.0
+            predictor.observe("flow", 2.0, now)
+        assert predictor.estimate("flow") == pytest.approx(2.0)
+        assert predictor.timeout_for("flow") == pytest.approx(
+            min(2.0 * predictor.config.grace, predictor.max_idle)
+        )
+
+
+class TestQTableBounded:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=Q_OPS, occupancy=OCCUPANCIES)
+    def test_q_values_never_leave_reward_range(self, ops, occupancy):
+        cfg = config(predictor="qtable")
+        predictor = QTableTimeoutPredictor(cfg)
+        predictor.begin_sweep(0.0, occupancy)
+        lo = -max(cfg.premature_cost, cfg.dead_cost)
+        hi = 1.0
+        now = 0.0
+        for op, key, gap in ops:
+            now += gap
+            if op == "observe":
+                predictor.observe(key, gap, now)
+            elif op == "decide":
+                predictor.timeout_for(key)
+            elif op == "expire":
+                timeout = predictor.timeout_for(key)
+                predictor.on_expire(key, timeout + gap, now, timeout)
+            else:
+                predictor.on_insert(key, now)
+            for values in predictor.q.values():
+                assert all(lo <= value <= hi for value in values)
+
+    def test_fresh_states_act_like_static(self):
+        """Tie-breaking toward the longest timeout means an untrained
+        Q-table behaves like the static baseline (greedy decisions)."""
+        predictor = QTableTimeoutPredictor(
+            # Keep every decision greedy so the round-robin explorer
+            # cannot fire inside this short probe.
+            config(predictor="qtable", q_explore_every=1000)
+        )
+        predictor.begin_sweep(0.0, 0.0)
+        assert predictor.timeout_for("fresh") == predictor.max_idle
+
+    def test_action_grid_spans_the_clamp_geometrically(self):
+        cfg = config(predictor="qtable", q_actions=5)
+        predictor = QTableTimeoutPredictor(cfg)
+        grid = predictor.action_timeouts
+        assert len(grid) == 5
+        assert grid[0] == pytest.approx(cfg.min_idle)
+        assert grid[-1] == pytest.approx(cfg.max_idle)
+        assert all(a < b for a, b in zip(grid, grid[1:]))
+
+    def test_converges_on_stationary_flow_mix(self):
+        """Stationary mix: a dense flow (0.25 s gaps, any grid level
+        covers it), a sparse flow (8 s gaps — only the longest level
+        covers it) and per-round churn that always dies.  Each round
+        emulates what the cache would do with the decided timeout:
+        reuse while resident (reward), or expiry + ghost return
+        (premature penalty).  The greedy policy must grant the sparse
+        flow a covering timeout while the dense flow settles on a
+        cheaper level."""
+        cfg = config(predictor="qtable", slot_cost=0.9)
+        predictor = QTableTimeoutPredictor(cfg)
+        predictor.begin_sweep(0.0, 0.9)
+        now = 0.0
+        for round_index in range(400):
+            now += 10.0
+            # Dense flow: reuses every 0.25 s, so whatever was decided
+            # last round survived to its reuses — the first observe
+            # rewards the decision; then decide again at this sweep.
+            for step in range(8):
+                predictor.observe("dense", 0.25, now + step * 0.25)
+            predictor.timeout_for("dense")
+            # Sparse flow: one 8 s-gap reuse per round.  A decided
+            # timeout covering the gap means the next reuse is a
+            # resident hit; anything shorter expires the entry and the
+            # key bounces straight back (premature).
+            predictor.observe("sparse", 8.0, now)
+            timeout = predictor.timeout_for("sparse")
+            if timeout < 8.0:
+                predictor.on_expire(
+                    "sparse", timeout + 0.01, now + timeout, timeout
+                )
+                predictor.on_insert("sparse", now + 8.0)
+            # Churn flow: installed, decided once, never reused.
+            churn = ("churn", round_index)
+            predictor.on_insert(churn, now)
+            timeout = predictor.timeout_for(churn)
+            predictor.on_expire(churn, timeout + 0.01, now + 9.0, timeout)
+        assert predictor.dead_evictions == 400
+        grid = predictor.action_timeouts
+        pressure = predictor._pressure
+        dense_state = (predictor._gap_bucket("dense"), pressure)
+        sparse_state = (predictor._gap_bucket("sparse"), pressure)
+        dense_timeout = grid[predictor.greedy_action(dense_state)]
+        sparse_timeout = grid[predictor.greedy_action(sparse_state)]
+        assert sparse_timeout > 8.0
+        assert dense_timeout < 2.0
+        assert dense_timeout < sparse_timeout
+
+
+class TestLedgerBookkeeping:
+    def test_dead_and_premature_counters(self):
+        predictor = EwmaTimeoutPredictor(config(predictor="ewma"))
+        # Never-reused entry expiring -> dead.
+        predictor.on_insert("dead", 0.0)
+        predictor.on_expire("dead", 17.0, 17.0, 16.0)
+        assert predictor.dead_evictions == 1
+        # Reused entry expiring, returning within the ghost window ->
+        # premature (and not dead).
+        predictor.on_insert("bounce", 0.0)
+        predictor.observe("bounce", 1.0, 1.0)
+        predictor.on_expire("bounce", 7.0, 8.0, 6.0)
+        predictor.on_insert("bounce", 9.0)
+        assert predictor.premature_evictions == 1
+        assert predictor.dead_evictions == 1
+        summary = predictor.summary()
+        assert summary["expired"] == 2
+        assert summary["dead_evictions"] == 1
+        assert summary["premature_evictions"] == 1
+
+    def test_forget_is_feedback_free(self):
+        predictor = EwmaTimeoutPredictor(config(predictor="ewma"))
+        predictor.on_insert("victim", 0.0)
+        predictor.forget("victim")
+        predictor.on_insert("victim", 1.0)
+        assert predictor.expired == 0
+        assert predictor.premature_evictions == 0
+        assert predictor.dead_evictions == 0
+
+
+class _Snapshot:
+    """Minimal stand-in for the engine's sweep snapshot."""
+
+    def __init__(self, occupancy):
+        self.occupancy = occupancy
+        self.epoch_delta = 0
+
+
+class TestControllerTimeoutKnob:
+    """The fifth knob: occupancy pressure scales aggressiveness down,
+    relief scales it back — double-hysteresis like every other knob."""
+
+    def _attached(self, **config_kwargs):
+        cache = MegaflowCache(capacity=16)
+        predictor = resolve_predictor("ewma", 16.0)
+        cache.set_timeout_predictor(predictor)
+        controller = AdaptiveController(
+            ControllerConfig(dwell=2, **config_kwargs)
+        )
+        controller.attach(cache, None)
+        return predictor, controller
+
+    def test_pressure_lowers_and_relief_restores(self):
+        predictor, controller = self._attached()
+        controller.on_sweep(1.0, _Snapshot(0.95))
+        # Dwell: one sweep of pressure is not enough.
+        assert predictor.aggressiveness == 1.0
+        controller.on_sweep(2.0, _Snapshot(0.95))
+        assert predictor.aggressiveness == 0.5
+        # Acting consumed the streak; two more pressured sweeps floor
+        # the scale at timeout_scale_min.
+        controller.on_sweep(3.0, _Snapshot(0.95))
+        controller.on_sweep(4.0, _Snapshot(0.95))
+        assert predictor.aggressiveness == 0.25
+        # At the floor further pressure is a no-op.
+        controller.on_sweep(5.0, _Snapshot(0.95))
+        controller.on_sweep(6.0, _Snapshot(0.95))
+        assert predictor.aggressiveness == 0.25
+        # Relief below occupancy_low steps the scale back up.
+        controller.on_sweep(7.0, _Snapshot(0.1))
+        controller.on_sweep(8.0, _Snapshot(0.1))
+        assert predictor.aggressiveness == 0.5
+        controller.on_sweep(9.0, _Snapshot(0.1))
+        controller.on_sweep(10.0, _Snapshot(0.1))
+        assert predictor.aggressiveness == 1.0
+        moves = [
+            t for t in controller.transitions if t["knob"] == KNOB_TIMEOUT
+        ]
+        assert [t["to"] for t in moves] == [0.5, 0.25, 0.5, 1.0]
+
+    def test_middling_occupancy_resets_the_streak(self):
+        predictor, controller = self._attached()
+        controller.on_sweep(1.0, _Snapshot(0.95))
+        controller.on_sweep(2.0, _Snapshot(0.5))  # between the marks
+        controller.on_sweep(3.0, _Snapshot(0.95))
+        assert predictor.aggressiveness == 1.0
+
+    def test_manage_timeout_off_never_touches_the_scale(self):
+        predictor, controller = self._attached(manage_timeout=False)
+        for now in range(1, 8):
+            controller.on_sweep(float(now), _Snapshot(0.95))
+        assert predictor.aggressiveness == 1.0
+        assert all(
+            t["knob"] != KNOB_TIMEOUT for t in controller.transitions
+        )
+
+    def test_scale_shortens_static_timeouts(self):
+        predictor = resolve_predictor("static", 16.0)
+        assert predictor.timeout_for("any") == 16.0
+        predictor.set_aggressiveness(0.5)
+        assert predictor.timeout_for("any") == 8.0
+        # Floor: the clamp still applies under aggressive scaling.
+        predictor.set_aggressiveness(1e-6)
+        assert predictor.timeout_for("any") == predictor.min_idle
+
+    def test_scale_knob_config_validated(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(timeout_scale_min=0.0)
+        with pytest.raises(ValueError):
+            ControllerConfig(timeout_scale_step=1.0)

@@ -1,0 +1,251 @@
+"""Differential golden tests: timeout prediction *off* is free.
+
+The per-rule timeout predictor (:mod:`repro.core.timeouts`) threads
+hook sites through every ``last_used`` writer and idle sweep in the
+tree.  Those hooks are all guarded on ``timeout_predictor is None``
+(the telemetry idiom), so two contracts must hold:
+
+* ``timeouts=None`` — the detached default — is **bit-identical** to
+  the pre-change tree.  The digests below were captured on the
+  pre-predictor tree (commit ``5ac6df1``) from fixed-seed pipebench
+  workloads; the predictor-aware simulator must reproduce every field
+  exactly.
+* ``timeouts="static"`` — the predictor-framework twin of the global
+  constant (every rule predicted ``max_idle``, aggressiveness 1.0) —
+  is bit-identical to ``timeouts=None``, hook sites and all.
+
+Only hash-stable fields are pinned as constants: ``avg_latency_us``
+and the CPU cycle counters depend on TSS mask-group iteration order,
+which varies with ``PYTHONHASHSEED`` even on an unmodified tree, so
+they are compared differentially in-process instead (the
+``result_fingerprint`` checks).  Sharded runs are hash-sensitive even
+in their hit counts (worker merge order), so the ``shards=2`` coverage
+is purely the in-process differential.
+
+The one *intentional* divergence is also pinned: with the adaptive
+controller's ``manage_timeout`` knob live, a ``static`` predictor under
+occupancy pressure gets its aggressiveness scaled down — so
+``controller=True`` + ``timeouts="static"`` may legitimately drift from
+the seed, while ``manage_timeout=False`` restores exact equivalence.
+"""
+
+import pytest
+
+from repro.core.controller import ControllerConfig
+from repro.obs import Telemetry
+from repro.sim import (
+    GigaflowSystem,
+    MegaflowSystem,
+    ShardedSimulator,
+    SimConfig,
+    VSwitchSimulator,
+)
+from conftest import seeded_trace, seeded_workload
+from test_obs import result_fingerprint
+
+#: (hits, misses, insertions, rejected, evictions, packets,
+#:  entry_count, peak_entries, cache_probes) captured on the
+#: pre-predictor tree (commit 5ac6df1), hash-stable across
+#: PYTHONHASHSEED.
+GOLDEN = {
+    ("idle", "megaflow"): (4974, 1637, 1637, 0, 1636, 6611, 1, 120, 77887),
+    ("idle", "gigaflow"): (5296, 1315, 831, 0, 827, 6611, 4, 240, 129523),
+    ("tight", "megaflow"): (3977, 2634, 2634, 0, 2633, 6611, 1, 120, 80815),
+    ("tight", "gigaflow"): (4648, 1963, 3242, 0, 3238, 6611, 4, 240, 79175),
+    ("slowpath", "megaflow"): (
+        4989, 1622, 1622, 0, 1621, 6611, 1, 120, 78275
+    ),
+    ("slowpath", "gigaflow"): (
+        5264, 1347, 785, 0, 784, 6611, 1, 240, 133419
+    ),
+    ("controller", "megaflow"): (
+        4738, 1873, 1873, 0, 1872, 6611, 1, 120, 77913
+    ),
+    ("controller", "gigaflow"): (
+        5499, 1112, 1531, 0, 1527, 6611, 4, 240, 153727
+    ),
+}
+
+#: The four scenario configs: idle-sweep dominant, tight sweeps, the
+#: non-fast-path (streaming slow path) loop, and the adaptive
+#: controller in the loop.  The controller scenario disables the
+#: ``manage_timeout`` knob so the static predictor stays at
+#: aggressiveness 1.0 — the regime where static == off is a theorem,
+#: not a coincidence (the knob's intentional divergence is pinned
+#: separately below).
+CONFIGS = {
+    "idle": dict(max_idle=4.0, sweep_interval=2.0, fast_path=True),
+    "tight": dict(max_idle=1.0, sweep_interval=0.5, fast_path=True),
+    "slowpath": dict(max_idle=6.0, sweep_interval=3.0, fast_path=False),
+    "controller": dict(
+        max_idle=2.0,
+        sweep_interval=1.0,
+        fast_path=True,
+        controller=ControllerConfig(manage_timeout=False),
+    ),
+}
+
+SYSTEMS = {
+    "megaflow": lambda: MegaflowSystem(capacity=120),
+    "gigaflow": lambda: GigaflowSystem(num_tables=4, table_capacity=60),
+}
+
+SHARD_FACTORIES = {
+    "megaflow": lambda ctx: MegaflowSystem(capacity=60),
+    "gigaflow": lambda ctx: GigaflowSystem(num_tables=4, table_capacity=30),
+}
+
+
+def make_workload():
+    return seeded_workload(n_flows=400)
+
+
+def make_trace(workload):
+    return seeded_trace(workload, duration=12.0)
+
+
+def run_single(config_name, system, timeouts):
+    workload = make_workload()
+    config = SimConfig(timeouts=timeouts, **CONFIGS[config_name])
+    simulator = VSwitchSimulator(
+        workload.pipeline, SYSTEMS[system](), config
+    )
+    return simulator, simulator.run(make_trace(workload))
+
+
+def stable_digest(result):
+    stats = result.stats
+    return (
+        stats.hits, stats.misses, stats.insertions, stats.rejected,
+        stats.evictions, result.packets, result.entry_count,
+        result.peak_entries, result.cache_probes,
+    )
+
+
+class TestPredictorOffMatchesSeed:
+    """``timeouts=None`` and ``timeouts="static"`` reproduce the
+    pre-change tree's digests exactly."""
+
+    @pytest.mark.parametrize("timeouts", [None, "static"])
+    @pytest.mark.parametrize("system", sorted(SYSTEMS))
+    @pytest.mark.parametrize("config_name", sorted(CONFIGS))
+    def test_matches_seed_golden(self, config_name, system, timeouts):
+        _, result = run_single(config_name, system, timeouts)
+        assert stable_digest(result) == GOLDEN[(config_name, system)]
+
+    @pytest.mark.parametrize("system", sorted(SYSTEMS))
+    @pytest.mark.parametrize("config_name", sorted(CONFIGS))
+    def test_static_equals_off_bit_for_bit(self, config_name, system):
+        """The full in-process fingerprint — including the
+        hash-sensitive latency/CPU fields the constants can't pin —
+        agrees between predictor-off and the static predictor."""
+        _, off = run_single(config_name, system, None)
+        _, static = run_single(config_name, system, "static")
+        assert result_fingerprint(static) == result_fingerprint(off)
+
+    @pytest.mark.parametrize("system", sorted(SYSTEMS))
+    def test_static_predictor_ledger_observes_without_steering(
+        self, system
+    ):
+        """The static predictor records the expiry ledger (that is its
+        point) while changing nothing — expiries equal the evictions
+        the idle sweeps did anyway."""
+        simulator, result = run_single("idle", system, "static")
+        summary = simulator.timeout_predictor.summary()
+        assert summary["predictor"] == "static"
+        assert summary["aggressiveness"] == 1.0
+        assert summary["expired"] > 0
+        assert summary["expired"] <= result.stats.evictions
+
+
+class TestShardedDifferential:
+    """``shards=2`` runs: static == off, worker fan-out included.
+
+    Sharded hit counts vary with PYTHONHASHSEED even on an unmodified
+    tree, so there are no sharded constants — the pin is the in-process
+    differential over the full fingerprint and merged telemetry.
+    """
+
+    @pytest.mark.parametrize("system", sorted(SHARD_FACTORIES))
+    def test_sharded_static_equals_off(self, system):
+        fingerprints = []
+        telemetries = []
+        for timeouts in (None, "static"):
+            workload = make_workload()
+            driver = ShardedSimulator(
+                workload.pipeline,
+                SHARD_FACTORIES[system],
+                SimConfig(
+                    max_idle=2.0,
+                    sweep_interval=1.0,
+                    fast_path=True,
+                    shards=2,
+                    timeouts=timeouts,
+                    telemetry=Telemetry(),
+                ),
+                mode="inline",
+            )
+            result = driver.run(make_trace(workload))
+            fingerprints.append(result_fingerprint(result))
+            telemetries.append(result.telemetry)
+        assert fingerprints[0] == fingerprints[1]
+        # The static run's telemetry gains only the timeouts summary
+        # section; everything the off-run reports must be unchanged.
+        static_tel = dict(telemetries[1] or {})
+        timeouts_summary = static_tel.pop("timeouts", None)
+        off_tel = dict(telemetries[0] or {})
+        assert static_tel == off_tel
+        assert timeouts_summary is not None
+        assert timeouts_summary["predictor"] == "static"
+        # Both workers ran their own predictor instance.
+        assert len(timeouts_summary["per_shard_aggressiveness"]) == 2
+
+    def test_sharded_processes_match_inline_with_predictor(self):
+        """The predictor survives the pickle boundary: forked workers
+        produce the same merged result as the inline driver."""
+        fingerprints = []
+        for mode in ("inline", "processes"):
+            workload = make_workload()
+            driver = ShardedSimulator(
+                workload.pipeline,
+                SHARD_FACTORIES["megaflow"],
+                SimConfig(
+                    max_idle=2.0,
+                    sweep_interval=1.0,
+                    fast_path=True,
+                    shards=2,
+                    timeouts="ewma",
+                ),
+                mode=mode,
+                timeout=120.0,
+            )
+            result = driver.run(make_trace(workload))
+            fingerprints.append(result_fingerprint(result))
+        assert fingerprints[0] == fingerprints[1]
+
+
+class TestControllerKnobDivergesOnPurpose:
+    """The one sanctioned deviation: ``manage_timeout=True`` (the
+    default) lets the controller scale even a static predictor's
+    aggressiveness under occupancy pressure, so the run may drift from
+    the seed digest — and the drift must be attributable to the knob.
+    """
+
+    def test_manage_timeout_off_restores_equivalence(self):
+        workload = make_workload()
+        config = SimConfig(
+            max_idle=2.0,
+            sweep_interval=1.0,
+            fast_path=True,
+            controller=ControllerConfig(manage_timeout=False),
+            timeouts="static",
+        )
+        simulator = VSwitchSimulator(
+            workload.pipeline, SYSTEMS["gigaflow"](), config
+        )
+        simulator.run(make_trace(workload))
+        assert simulator.timeout_predictor.aggressiveness == 1.0
+        digest = simulator.controller.summary()
+        assert all(
+            entry["knob"] != "timeout_scale" for entry in digest["log"]
+        )

@@ -39,24 +39,22 @@ from repro.obs import (
     render_text,
 )
 from repro.cli import main
-from repro.pipeline import PSC
 from repro.sim import (
     GigaflowSystem,
     ShardedSimulator,
     SimConfig,
     VSwitchSimulator,
 )
-from repro.workload import TraceProfile, build_workload
+
+from conftest import seeded_trace, seeded_workload
 
 
 def small_workload(seed=11):
-    return build_workload(PSC, n_flows=200, locality="high", seed=seed)
+    return seeded_workload(n_flows=200, seed=seed)
 
 
 def small_trace(workload, seed=3):
-    return workload.trace(
-        profile=TraceProfile(mean_flow_size=32.0, duration=6.0), seed=seed
-    )
+    return seeded_trace(workload, mean_flow_size=32.0, seed=seed)
 
 
 def traced_run(tracing=True, sink=None, capacity=1 << 18, events=None):
