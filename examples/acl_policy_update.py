@@ -8,6 +8,14 @@ Gigaflow only replays (and only evicts) the *sub-traversals* touching the
 changed table — its siblings survive and its cycle is ~2x cheaper than
 Megaflow's full-traversal replays (§6.3.6).
 
+The push itself goes through the churn workload API
+(:func:`repro.workload.acl_update_schedule`): the same declarative
+install/revert events the serving mode (`python -m repro serve`) applies
+at exact simulated-time deadlines while traffic flows.  Here we apply
+them by hand so each revalidation wave can be inspected in isolation —
+the revert is a second policy change and strands a second wave of
+entries, exactly like the delete half of an orchestrator storm.
+
 Run:
     python examples/acl_policy_update.py
 """
@@ -19,8 +27,10 @@ from repro.core import (
     GigaflowRevalidator,
     MegaflowRevalidator,
 )
-from repro.flow import ActionList, Drop, TernaryMatch, prefix_mask
-from repro.pipeline import PipelineRule
+from repro.flow import prefix_mask
+from repro.workload import acl_update_schedule
+
+ACL_TABLE = 5  # table 5 is PSC's ACL stage
 
 
 def main() -> None:
@@ -48,15 +58,20 @@ def main() -> None:
           f" (paper: ~2x)\n")
 
     print("=== operator pushes a deny-all-to-10.0.0.0/9 ACL rule ===")
-    deny = PipelineRule(
-        match=TernaryMatch.from_fields(
-            {"ip_src": 0x0A000000},
-            masks={"ip_src": prefix_mask(9)},
-        ),
-        priority=10_000,
-        actions=ActionList([Drop()]),
+    # The deny-then-revert pair as the control plane would schedule it:
+    # install at t=10, withdraw at t=20.  A ServingDriver fires these at
+    # their deadlines mid-stream; applied by hand the timestamps are
+    # just labels and `installed` tracks the live rule handle.
+    schedule = acl_update_schedule(
+        ACL_TABLE, 10.0,
+        value=0x0A000000, mask=prefix_mask(9), revert_at=20.0,
     )
-    pipeline.install(5, deny)  # table 5 is PSC's ACL stage
+    push, revert = schedule
+    installed = {}
+    push.apply(pipeline, installed)
+    _table, deny = installed[push.key]
+    print(f"churn event {push.kind!r} at t={push.at:g}: "
+          f"installed rule into table {ACL_TABLE}")
 
     mf_report = MegaflowRevalidator(pipeline, megaflow).revalidate()
     gf_report = GigaflowRevalidator(pipeline, gigaflow).revalidate()
@@ -65,7 +80,20 @@ def main() -> None:
     print(f"gigaflow: evicted {gf_report.entries_evicted} of "
           f"{gf_report.entries_checked} rules "
           f"(only sub-traversals through the ACL table)")
-    print(f"gigaflow entries surviving: {gigaflow.entry_count()}")
+    print(f"gigaflow entries surviving: {gigaflow.entry_count()}\n")
+
+    # Traffic keeps flowing between the push and the revert: the denied
+    # flows miss (their entries were just evicted), take the slow path,
+    # and re-cache under the *new* policy — drop verdicts and all.
+    refreshed = 0
+    for pilot in workload.pilots:
+        if deny.match.matches(pilot.flow):
+            traversal = pipeline.execute(pilot.flow, record_stats=False)
+            megaflow.install_traversal(traversal, pipeline.start_table)
+            gigaflow.install_traversal(traversal)
+            refreshed += 1
+    print(f"slow path re-cached {refreshed} denied flows under the "
+          f"new policy")
 
     # The caches are consistent again: spot-check one affected flow.
     victim = next(
@@ -78,10 +106,28 @@ def main() -> None:
         assert result.actions.drops() == (
             fresh.steps[-1].actions.drops()
         ), "revalidated cache must agree with the pipeline"
-        print("\nspot check: cached verdict matches the new policy (drop)")
+        print("spot check: cached verdict matches the new policy (drop)\n")
     else:
-        print("\nspot check: stale entry evicted; flow heads to the "
-              "slow path for fresh rules")
+        print("spot check: stale entry evicted; flow heads to the "
+              "slow path for fresh rules\n")
+
+    print("=== operator reverts the deny rule ===")
+    revert.apply(pipeline, installed)
+    assert not installed, "revert must release the churn handle"
+    print(f"churn event {revert.kind!r} at t={revert.at:g}: "
+          f"withdrew the deny rule")
+
+    # Withdrawing a rule is itself a policy change: every entry the
+    # slow path cached under the deny verdict is stale now, so a
+    # second revalidation wave evicts them — the delete half of an
+    # insert/delete storm.
+    mf_report = MegaflowRevalidator(pipeline, megaflow).revalidate()
+    gf_report = GigaflowRevalidator(pipeline, gigaflow).revalidate()
+    print(f"megaflow: evicted {mf_report.entries_evicted} of "
+          f"{mf_report.entries_checked} entries")
+    print(f"gigaflow: evicted {gf_report.entries_evicted} of "
+          f"{gf_report.entries_checked} rules")
+    print(f"gigaflow entries surviving: {gigaflow.entry_count()}")
 
 
 if __name__ == "__main__":

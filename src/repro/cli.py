@@ -22,11 +22,20 @@ bench
     ``--timeouts`` adds the per-rule timeout-predictor A/B: the ewma
     and qtable predictors vs a static ``max_idle`` sweep on an
     interarrival-heterogeneous trace (``BENCH_timeouts.json``).
+    ``--churn`` adds the control-plane churn phase: hit-rate dip and
+    recovery under a mid-trace insert/delete storm with budgeted
+    incremental revalidation (``BENCH_churn.json``).
     ``--smoke`` shrinks it all for CI.
 stats
-    Run one simulation with full telemetry attached and export the
+    Run one simulation with telemetry attached and export the
     metrics (Prometheus text, JSON, or a rendered table); ``--trace-out``
     streams per-packet trace events to a JSONL file.
+serve
+    Live serving mode (:mod:`repro.serve`): stream an unbounded
+    generated workload through the engine in micro-batches, optionally
+    scrapeable over HTTP (``--http``) and under control-plane churn
+    (``--storm``, ``--acl-update``, ``--shuffle``);
+    ``--assert-drained`` turns the run into a CI soak gate.
 
 For the full per-figure report, run ``examples/reproduce_all.py``.
 """
@@ -255,6 +264,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         _bench_shards(args, spec)
     if args.timeouts:
         _bench_timeouts(args, spec)
+    if args.churn:
+        _bench_churn(args, spec)
     return 0
 
 
@@ -721,6 +732,207 @@ def _bench_timeouts(args: argparse.Namespace, spec) -> None:
     print(f"wrote {args.timeouts_output}")
 
 
+def _churn_table(pipeline, field: str = "ip_src") -> int:
+    """The deepest pipeline table matching on ``field`` — the ACL stage
+    churn scenarios target (policy pushes land late in the pipeline)."""
+    candidates = [
+        table.table_id
+        for table in pipeline.tables.values()
+        if field in table.field_set
+    ]
+    if not candidates:
+        raise SystemExit(
+            f"pipeline {pipeline.name!r} has no table matching on "
+            f"{field!r}; churn scenarios need one"
+        )
+    return max(candidates)
+
+
+def _bench_churn(args: argparse.Namespace, spec) -> None:
+    """Measure the hit-rate dip and recovery under an insert/delete storm.
+
+    Two identically seeded Gigaflow runs over the same trace: a quiet
+    baseline and one with an insert/delete storm of ACL denies pushed
+    into the pipeline mid-trace (plus budgeted incremental
+    revalidation).  Every insert and delete bumps the pipeline
+    generation and strands cached entries; the report quantifies the
+    damage as a *dip* (baseline hit rate minus churn hit rate over the
+    storm span), a *recovery time* (first post-storm window back within
+    one point of baseline), and the revalidation backlog's peak and
+    final residue.  The CI gate asserts the dip stays shallow, the tail
+    recovers, and the backlog drains.
+    """
+    from .flow import prefix_mask
+    from .sim import ChurnConfig, SimConfig, VSwitchSimulator
+    from .workload import TraceProfile, build_workload, insert_delete_storm
+
+    flows = args.flows
+    capacity = args.capacity or max(flows * 2, 8)
+    duration = args.duration
+    profile = TraceProfile(
+        mean_flow_size=args.mean_flow_size, duration=duration
+    )
+    window = max(duration / 32.0, 0.125)
+    sweep_interval = window
+    storm_start = duration * 0.25
+    storm_end = duration * 0.55
+    storm_count = 24 if not args.smoke else 12
+    gap = (storm_end - storm_start) / storm_count
+    hold = 2.0 * gap
+    reval_budget = 32
+
+    def run(with_churn: bool):
+        workload = build_workload(
+            spec, n_flows=flows, locality=args.locality, seed=args.seed
+        )
+        trace = workload.trace(profile=profile, seed=args.trace_seed)
+        churn = None
+        if with_churn:
+            # Aim the storm at the hottest sources: an ACL push against
+            # busy tenants is the churn case that actually moves the
+            # hit rate (denies on cold flows strand entries nobody was
+            # hitting).
+            import numpy as np
+
+            _times, flow_indices, _sizes = trace.columns()
+            packets_per_flow = np.bincount(
+                flow_indices, minlength=len(workload.pilots)
+            )
+            hottest = np.argsort(packets_per_flow)[::-1][: storm_count * 2]
+            schedule = insert_delete_storm(
+                [workload.pilots[i] for i in hottest],
+                _churn_table(workload.pipeline),
+                start=storm_start,
+                count=storm_count,
+                gap=gap,
+                hold=hold,
+                seed=args.seed,
+                mask=prefix_mask(16),
+            )
+            churn = ChurnConfig(schedule=schedule, reval_budget=reval_budget)
+        config = SimConfig(
+            max_idle=duration / 4.0,
+            sweep_interval=sweep_interval,
+            window=window,
+            churn=churn,
+        )
+        simulator = VSwitchSimulator(
+            workload.pipeline, _make_system("gigaflow", capacity), config
+        )
+        result = simulator.run(trace)
+        return result, simulator
+
+    baseline, _ = run(with_churn=False)
+    churned, simulator = run(with_churn=True)
+    digest = simulator.churn.digest()
+
+    def span_rate(result, start, stop):
+        return result.series.hit_rate_between(start, stop)
+
+    storm_span = (storm_start, storm_end + hold)
+    dip_depth = round(
+        span_rate(baseline, *storm_span) - span_rate(churned, *storm_span), 6
+    )
+    # Per-window deltas from the first insert to the end of the run.
+    # The churn run can even beat baseline *during* the storm (one
+    # coarse deny entry serves a whole subnet — wildcard sharing); the
+    # costs are the transition waves, each delete stranding the deny
+    # path's entries for the revalidator to chew through.  The deepest
+    # single window is the dip operators feel; the *settle point* is
+    # when the deltas stop exceeding the recovery threshold for good.
+    threshold = 0.02
+    deltas = []
+    t = storm_start
+    while t < duration:
+        deltas.append((
+            t,
+            span_rate(baseline, t, t + window)
+            - span_rate(churned, t, t + window),
+        ))
+        t += window
+    max_window_dip = round(max((d for _, d in deltas), default=0.0), 6)
+    settle_at = None
+    for i, (t, _delta) in enumerate(deltas):
+        if all(later <= threshold for _, later in deltas[i:]):
+            settle_at = t
+            break
+    recovery_seconds = (
+        round(max(0.0, settle_at - (storm_end + hold)), 6)
+        if settle_at is not None
+        else None
+    )
+    # The settled stretch must genuinely sit at baseline — and must
+    # exist: a settle point in the run's final window would mean the
+    # run ended before recovery was demonstrated.
+    settled = (
+        settle_at is not None and settle_at <= duration - 2 * window
+    )
+    recovery_delta = (
+        round(
+            span_rate(baseline, settle_at, duration)
+            - span_rate(churned, settle_at, duration),
+            6,
+        )
+        if settled
+        else None
+    )
+
+    report = {
+        "pipeline": spec.name,
+        "locality": args.locality,
+        "flows": flows,
+        "capacity": capacity,
+        "mean_flow_size": args.mean_flow_size,
+        "duration": duration,
+        "window": window,
+        "seed": args.seed,
+        "storm": {
+            "start": storm_start,
+            "end": storm_end,
+            "count": storm_count,
+            "gap": round(gap, 6),
+            "hold": round(hold, 6),
+            "reval_budget": reval_budget,
+        },
+        "baseline_hit_rate": round(baseline.hit_rate, 6),
+        "churn_hit_rate": round(churned.hit_rate, 6),
+        "dip_depth": dip_depth,
+        "max_window_dip": max_window_dip,
+        "recovery_delta": recovery_delta,
+        "recovery_seconds": recovery_seconds,
+        "churn": digest,
+        "recovery_threshold": threshold,
+        "gates": {
+            "recovered": (
+                settled and recovery_delta <= threshold
+            ),
+            "backlog_drained": (
+                digest["backlog"] == 0 and digest["pending_events"] == 0
+            ),
+        },
+    }
+    settled_text = (
+        f"settled {recovery_seconds:.2f}s after the storm "
+        f"(delta {recovery_delta:+.4f})"
+        if settled
+        else "did not settle before the run ended"
+    )
+    print(f"churn storm: {storm_count} denies over "
+          f"[{storm_start:.1f}s, {storm_end:.1f}s)  "
+          f"dip={dip_depth:+.4f} (worst window {max_window_dip:+.4f})  "
+          f"{settled_text}  "
+          f"backlog_peak={digest['backlog_peak']}  "
+          f"reval_evicted={digest['reval_evicted']}")
+    gates = report["gates"]
+    print(f"gates: recovered={gates['recovered']} "
+          f"backlog_drained={gates['backlog_drained']}")
+
+    with open(args.churn_output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.churn_output}")
+
+
 def _bench_evictions(args: argparse.Namespace, spec) -> None:
     """A/B the pluggable eviction policies under capacity pressure.
 
@@ -1072,6 +1284,113 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .obs import Telemetry
+    from .pipeline.library import get_pipeline_spec
+    from .serve import ServeConfig, ServingDriver, endless_packets
+    from .sim import ChurnConfig, SimConfig
+    from .workload import (
+        TraceProfile,
+        acl_update_schedule,
+        build_workload,
+        insert_delete_storm,
+        priority_shuffle_schedule,
+    )
+    from .workload.churn import ChurnSchedule
+
+    spec = get_pipeline_spec(args.pipeline.upper())
+    workload = build_workload(
+        spec, n_flows=args.flows, locality=args.locality, seed=args.seed
+    )
+    capacity = args.capacity or max(args.flows * 2, 8)
+    duration = args.duration
+
+    # Churn scenarios place themselves proportionally inside the
+    # serving horizon: storm over [20%, 60%], ACL push at 30% reverted
+    # at 70%, shuffles at 45% and 75%.
+    schedule = ChurnSchedule([])
+    if args.storm or args.acl_update or args.shuffle:
+        table_id = _churn_table(workload.pipeline)
+        if args.storm:
+            start, end = duration * 0.2, duration * 0.6
+            gap = (end - start) / args.storm_count
+            schedule = schedule.merged_with(insert_delete_storm(
+                workload.pilots, table_id,
+                start=start, count=args.storm_count, gap=gap,
+                hold=2.0 * gap, seed=args.seed,
+            ))
+        if args.acl_update:
+            schedule = schedule.merged_with(acl_update_schedule(
+                table_id, duration * 0.3, revert_at=duration * 0.7,
+            ))
+        if args.shuffle:
+            schedule = schedule.merged_with(priority_shuffle_schedule(
+                table_id, [duration * 0.45, duration * 0.75],
+                seed=args.seed,
+            ))
+    churn = (
+        ChurnConfig(schedule=schedule, reval_budget=args.reval_budget)
+        if len(schedule)
+        else None
+    )
+
+    config = SimConfig(
+        max_idle=args.max_idle,
+        sweep_interval=args.sweep_interval,
+        window=args.sweep_interval,
+        telemetry=Telemetry(),
+        timeouts=args.timeouts,
+        churn=churn,
+    )
+    driver = ServingDriver(
+        workload.pipeline,
+        _make_system(args.system, capacity),
+        config,
+        ServeConfig(
+            batch_size=args.batch_size,
+            http=args.http,
+            http_host=args.host,
+            http_port=args.port,
+        ),
+    )
+    driver.start()
+    if driver.metrics_server is not None:
+        print(f"metrics endpoint: {driver.metrics_server.url}")
+    profile = TraceProfile(
+        mean_flow_size=args.mean_flow_size,
+        duration=args.segment_duration,
+    )
+    result = driver.serve(
+        endless_packets(workload, profile=profile, seed=args.trace_seed),
+        max_seconds=duration,
+    )
+
+    print(f"served {result.packets} packets over "
+          f"{driver.now:.1f} simulated seconds "
+          f"({args.system}, {spec.name})")
+    print(f"hit_rate={result.hit_rate:.4f}  "
+          f"peak_entries={result.peak_entries}  "
+          f"capacity={result.capacity}")
+    if churn is not None:
+        digest = result.telemetry["churn"]
+        print(f"churn: {digest['events']} events "
+              f"({digest['events_by_kind']})  "
+              f"rule_ops={digest['rule_ops']}")
+        print(f"revalidation: {digest['reval_ticks']} ticks  "
+              f"checked={digest['reval_checked']}  "
+              f"evicted={digest['reval_evicted']}  "
+              f"backlog={digest['backlog']} "
+              f"(peak {digest['backlog_peak']})")
+        if args.assert_drained and (
+            digest["backlog"] != 0 or digest["pending_events"] != 0
+        ):
+            print("FAIL: revalidation backlog did not drain "
+                  f"(backlog={digest['backlog']}, "
+                  f"pending_events={digest['pending_events']})")
+            return 1
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Analyze a trace JSONL file and print/write the flow report."""
     from .obs import analyze_jsonl, render_text
@@ -1219,6 +1538,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeouts-output", default="BENCH_timeouts.json",
         help="where to write the timeout-predictor comparison",
     )
+    bench.add_argument(
+        "--churn", action="store_true",
+        help="also measure the hit-rate dip and recovery under a "
+             "mid-trace insert/delete storm with budgeted incremental "
+             "revalidation",
+    )
+    bench.add_argument(
+        "--churn-output", default="BENCH_churn.json",
+        help="where to write the churn dip/recovery report",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -1320,6 +1649,102 @@ def build_parser() -> argparse.ArgumentParser:
              "predicted timeouts from this predictor (static keeps the "
              "global deadline but records the expiry ledger)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="live serving mode: stream an unbounded workload through "
+             "the engine with scrapeable metrics and optional "
+             "control-plane churn",
+    )
+    serve.add_argument(
+        "pipeline", nargs="?", default="psc",
+        choices=[p.lower() for p in PIPELINES] + list(PIPELINES),
+    )
+    serve.add_argument(
+        "--system", choices=("gigaflow", "megaflow", "adaptive"),
+        default="gigaflow",
+        help="caching system (hierarchy is excluded: it has no "
+             "revalidator, so churn cannot be served against it)",
+    )
+    serve.add_argument(
+        "--flows", type=int, default=400,
+        help="unique flow classes (default 400)",
+    )
+    serve.add_argument(
+        "--capacity", type=int, default=None,
+        help="total cache entries (default 2x flows)",
+    )
+    serve.add_argument(
+        "--locality", choices=("high", "low"), default="high",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=30.0,
+        help="simulated seconds to serve before stopping (default 30)",
+    )
+    serve.add_argument(
+        "--segment-duration", type=float, default=10.0,
+        help="length of each generated trace segment of the unbounded "
+             "source (default 10)",
+    )
+    serve.add_argument(
+        "--mean-flow-size", type=float, default=24.0,
+        help="mean packets per flow per segment (default 24)",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=256,
+        help="packets per micro-batch (results are identical at any "
+             "size; default 256)",
+    )
+    serve.add_argument(
+        "--max-idle", type=float, default=2.0,
+        help="idle-expiry threshold in seconds (default 2)",
+    )
+    serve.add_argument(
+        "--sweep-interval", type=float, default=1.0,
+        help="sweep/snapshot/revalidation cadence (default 1)",
+    )
+    serve.add_argument(
+        "--http", action="store_true",
+        help="serve Prometheus metrics from a background HTTP thread",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="metrics port (0 = ephemeral, printed at startup)",
+    )
+    serve.add_argument(
+        "--storm", action="store_true",
+        help="inject an insert/delete storm of ACL denies mid-run",
+    )
+    serve.add_argument(
+        "--storm-count", type=int, default=16,
+        help="rules in the storm (default 16)",
+    )
+    serve.add_argument(
+        "--acl-update", action="store_true",
+        help="push an operator ACL deny at 30%% of the run, revert at "
+             "70%%",
+    )
+    serve.add_argument(
+        "--shuffle", action="store_true",
+        help="re-rank ACL rule priorities at 45%% and 75%% of the run",
+    )
+    serve.add_argument(
+        "--reval-budget", type=int, default=64,
+        help="stale entries revalidated per tick (0 = drain fully; "
+             "default 64)",
+    )
+    serve.add_argument(
+        "--timeouts", choices=_predictor_names(), default=None,
+        help="per-rule adaptive timeout predictor (as in stats)",
+    )
+    serve.add_argument(
+        "--assert-drained", action="store_true",
+        help="exit nonzero unless the revalidation backlog drained and "
+             "every scheduled churn event fired (the CI soak gate)",
+    )
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--trace-seed", type=int, default=3)
     return parser
 
 
@@ -1330,6 +1755,7 @@ _COMMANDS = {
     "coverage": cmd_coverage,
     "bench": cmd_bench,
     "stats": cmd_stats,
+    "serve": cmd_serve,
     "trace": cmd_trace,
 }
 

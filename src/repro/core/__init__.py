@@ -34,8 +34,10 @@ from .coverage import (
 )
 from .revalidation import (
     GigaflowRevalidator,
+    IncrementalRevalidator,
     MegaflowRevalidator,
     RevalidationReport,
+    resolve_revalidator,
     sweep_idle,
 )
 
@@ -51,10 +53,12 @@ __all__ = [
     "chain_report",
     "validate_cache",
     "GigaflowRevalidator",
+    "IncrementalRevalidator",
     "InstallOutcome",
     "LtmRule",
     "LtmTable",
     "MegaflowRevalidator",
+    "resolve_revalidator",
     "Partition",
     "Partitioner",
     "RandomPartitioner",

@@ -7,6 +7,19 @@ actions changed are evicted.  Because Gigaflow replays *sub-traversals*,
 which are shorter than the full traversals Megaflow must replay, its
 revalidation is roughly the partition factor faster (the 2× of §6.3.6).
 
+Two driving modes share the per-entry check:
+
+* :meth:`MegaflowRevalidator.revalidate` / :meth:`GigaflowRevalidator.revalidate`
+  sweep the whole cache in one pass — the batch mode examples and the
+  ``repro stats`` command use.
+* :class:`IncrementalRevalidator` processes up to a fixed *budget* of
+  stale entries per call, the way OVS's revalidator threads chip away at
+  a dump between traffic bursts.  The set of live entries whose
+  ``generation`` lags :attr:`~repro.pipeline.pipeline.Pipeline.generation`
+  is the **revalidation backlog** — the serving mode's headline churn
+  metric: it drains while the budget outpaces control-plane churn and
+  grows when churn wins.
+
 A ``max_idle`` sweep also removes entries not hit recently, mirroring the
 OVS revalidator's flow expiration.
 """
@@ -14,6 +27,7 @@ OVS revalidator's flow expiration.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Tuple
 
 from ..cache.megaflow import MegaflowCache, build_megaflow_entry
 from ..core.gigaflow import GigaflowCache
@@ -45,32 +59,44 @@ class MegaflowRevalidator:
         self.pipeline = pipeline
         self.cache = cache
 
+    def check_entry(self, entry, now: float) -> Tuple[str, int]:
+        """Replay one entry; evict if stale.  Returns (verdict, lookups).
+
+        The caller owns the epoch bump: batching removals into one
+        :meth:`~repro.cache.base.FlowCache.bump_epoch` per cycle keeps a
+        revalidation pass visible to fast-path memo invalidation without
+        per-entry epoch churn.
+        """
+        replay = self.pipeline.replay(
+            entry.parent_flow, entry.start_table, entry.length
+        )
+        regenerated = build_megaflow_entry(
+            replay, entry.start_table, self.pipeline.generation, now
+        )
+        if (
+            regenerated.match != entry.match
+            or regenerated.actions != entry.actions
+        ):
+            self.cache.remove(entry, reason="reval")
+            verdict = "evicted"
+        else:
+            entry.generation = self.pipeline.generation
+            verdict = "consistent"
+        tel = self.cache.telemetry
+        if tel is not None:
+            tel.on_revalidate(
+                self.cache.telemetry_name, verdict, len(replay), now
+            )
+        return verdict, len(replay)
+
     def revalidate(self, now: float = 0.0) -> RevalidationReport:
         report = RevalidationReport()
-        tel = self.cache.telemetry
         for entry in list(self.cache):
+            verdict, lookups = self.check_entry(entry, now)
             report.entries_checked += 1
-            replay = self.pipeline.replay(
-                entry.parent_flow, entry.start_table, entry.length
-            )
-            report.lookups_performed += len(replay)
-            regenerated = build_megaflow_entry(
-                replay, entry.start_table, self.pipeline.generation, now
-            )
-            if (
-                regenerated.match != entry.match
-                or regenerated.actions != entry.actions
-            ):
-                self.cache.remove(entry, reason="reval")
+            report.lookups_performed += lookups
+            if verdict == "evicted":
                 report.entries_evicted += 1
-                verdict = "evicted"
-            else:
-                entry.generation = self.pipeline.generation
-                verdict = "consistent"
-            if tel is not None:
-                tel.on_revalidate(
-                    self.cache.telemetry_name, verdict, len(replay), now
-                )
         if report.entries_evicted:
             # Removals already bump the cache's mutation epoch; bump once
             # more so a revalidation cycle is always visible to fast-path
@@ -86,46 +112,139 @@ class GigaflowRevalidator:
         self.pipeline = pipeline
         self.cache = cache
 
-    def revalidate(self, now: float = 0.0) -> RevalidationReport:
-        report = RevalidationReport()
-        tel = self.cache.telemetry
-        for rule in list(self.cache):
-            report.entries_checked += 1
-            replay = self.pipeline.replay(
-                rule.parent_flow, rule.tag, rule.length
+    def check_entry(self, rule, now: float) -> Tuple[str, int]:
+        """Replay one LTM rule; evict if stale.  Returns (verdict, lookups).
+
+        Epoch-bump ownership is the caller's, as in
+        :meth:`MegaflowRevalidator.check_entry`.
+        """
+        replay = self.pipeline.replay(
+            rule.parent_flow, rule.tag, rule.length
+        )
+        if len(replay) != rule.length:
+            # The path from this tag got shorter — stale.
+            self.cache.remove_rule(rule)
+            verdict = "evicted"
+        else:
+            regenerated = build_ltm_rule(
+                replay.sub(0, len(replay)), self.pipeline.generation,
+                now,
             )
-            report.lookups_performed += len(replay)
-            if len(replay) != rule.length:
-                # The path from this tag got shorter — stale.
+            expected_next = regenerated.next_tag
+            if (
+                regenerated.match != rule.match
+                or regenerated.actions != rule.actions
+                or expected_next != rule.next_tag
+            ):
                 self.cache.remove_rule(rule)
-                report.entries_evicted += 1
                 verdict = "evicted"
             else:
-                regenerated = build_ltm_rule(
-                    replay.sub(0, len(replay)), self.pipeline.generation,
-                    now,
-                )
-                expected_next = regenerated.next_tag
-                if (
-                    regenerated.match != rule.match
-                    or regenerated.actions != rule.actions
-                    or expected_next != rule.next_tag
-                ):
-                    self.cache.remove_rule(rule)
-                    report.entries_evicted += 1
-                    verdict = "evicted"
-                else:
-                    rule.generation = self.pipeline.generation
-                    verdict = "consistent"
-            if tel is not None:
-                tel.on_revalidate(
-                    self.cache.telemetry_name, verdict, len(replay), now
-                )
+                rule.generation = self.pipeline.generation
+                verdict = "consistent"
+        tel = self.cache.telemetry
+        if tel is not None:
+            tel.on_revalidate(
+                self.cache.telemetry_name, verdict, len(replay), now
+            )
+        return verdict, len(replay)
+
+    def revalidate(self, now: float = 0.0) -> RevalidationReport:
+        report = RevalidationReport()
+        for rule in list(self.cache):
+            verdict, lookups = self.check_entry(rule, now)
+            report.entries_checked += 1
+            report.lookups_performed += lookups
+            if verdict == "evicted":
+                report.entries_evicted += 1
         if report.entries_evicted:
             # See MegaflowRevalidator.revalidate: keep revalidation
             # visible to fast-path memo invalidation in its own right.
             self.cache.bump_epoch()
         return report
+
+
+def resolve_revalidator(pipeline: Pipeline, cache):
+    """The revalidator matching ``cache``'s type.
+
+    Gigaflow (including the adaptive subclass) gets the sub-traversal
+    replayer, Megaflow the full-traversal one.  The OVS hierarchy has no
+    single replay unit (microflow entries are derived), so it is not
+    supported — callers gate churn-bearing configs on this error.
+    """
+    if isinstance(cache, GigaflowCache):
+        return GigaflowRevalidator(pipeline, cache)
+    if isinstance(cache, MegaflowCache):
+        return MegaflowRevalidator(pipeline, cache)
+    raise TypeError(
+        f"no revalidator for {type(cache).__name__}: incremental "
+        "revalidation (and control-plane churn) supports Megaflow and "
+        "Gigaflow caches"
+    )
+
+
+class IncrementalRevalidator:
+    """Budgeted revalidation with an observable backlog.
+
+    The backlog is *defined* as the live entries whose ``generation``
+    lags the pipeline's — no shadow queue to fall out of sync with
+    capacity/idle evictions, and entries evicted for other reasons
+    leave the backlog for free.  :meth:`process` checks up to ``budget``
+    stale entries (in cache iteration order, which is deterministic for
+    identical histories — the batched/streaming differential relies on
+    that) and reports how many remain.
+    """
+
+    def __init__(self, pipeline: Pipeline, cache):
+        self.pipeline = pipeline
+        self.cache = cache
+        self.impl = resolve_revalidator(pipeline, cache)
+        #: Generation up to which the cache is known fully revalidated;
+        #: lets churn-free stretches skip the stale scan entirely.
+        self._clean_generation = pipeline.generation
+        self.total_checked = 0
+        self.total_evicted = 0
+        self.total_lookups = 0
+
+    def stale_entries(self) -> List:
+        generation = self.pipeline.generation
+        if generation == self._clean_generation:
+            return []
+        return [
+            entry
+            for entry in self.cache
+            if entry.generation < generation
+        ]
+
+    def backlog(self) -> int:
+        """Live entries still awaiting revalidation."""
+        return len(self.stale_entries())
+
+    def process(
+        self, now: float = 0.0, budget: int = 0
+    ) -> Tuple[RevalidationReport, int]:
+        """Check up to ``budget`` stale entries (0 = no limit).
+
+        Returns ``(report, backlog_after)`` where ``backlog_after``
+        counts the stale entries left for future ticks.
+        """
+        stale = self.stale_entries()
+        batch = stale if budget <= 0 else stale[:budget]
+        report = RevalidationReport()
+        for entry in batch:
+            verdict, lookups = self.impl.check_entry(entry, now)
+            report.entries_checked += 1
+            report.lookups_performed += lookups
+            if verdict == "evicted":
+                report.entries_evicted += 1
+        if report.entries_evicted:
+            self.cache.bump_epoch()
+        backlog_after = len(stale) - len(batch)
+        if backlog_after == 0:
+            self._clean_generation = self.pipeline.generation
+        self.total_checked += report.entries_checked
+        self.total_evicted += report.entries_evicted
+        self.total_lookups += report.lookups_performed
+        return report, backlog_after
 
 
 def sweep_idle(cache, now: float, max_idle: float) -> int:

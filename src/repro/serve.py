@@ -1,0 +1,501 @@
+"""repro.serve — live serving mode: unbounded traffic, live metrics, churn.
+
+The batch engine replays a fixed trace and returns one
+:class:`~repro.sim.results.SimResult`.  A deployed SmartNIC datapath
+does neither: packets arrive forever, operators scrape metrics while it
+runs, and the control plane mutates the pipeline underneath the cache.
+This module is that operating mode:
+
+* :class:`ServingDriver` consumes packets from any (possibly unbounded)
+  iterable in bounded micro-batches, carrying the engine loop's state
+  across batches.  Its per-packet body is kept **in lockstep** with
+  :meth:`~repro.sim.engine.VSwitchSimulator.run_packets` — the repo's
+  established pattern for hot-loop variants (``sim/batch.py`` mirrors
+  the same body) — and the differential battery in
+  ``tests/test_serve_differential.py`` pins bit-identity at every
+  micro-batch size, with and without churn.
+* :func:`stream_trace` adapts a columnar
+  :class:`~repro.workload.pipebench.Trace` into a packet stream via the
+  same chunked ``tolist()`` decode the batched loop uses.
+* :func:`endless_packets` turns a Pipebench workload into a
+  deterministic unbounded generator (seeded per-segment traces with
+  advancing time offsets) — the soak tests' traffic source.
+* :class:`MetricsServer` serves
+  :meth:`~repro.obs.metrics.MetricsRegistry.to_prometheus` from an
+  opt-in stdlib :mod:`http.server` thread, so a live run is scrapeable
+  at ``/metrics`` (plus ``/healthz``) without any new dependency.
+
+See ``docs/serving.md`` for the operational story.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Iterable, Iterator, Optional
+
+from .flow.packet import Packet
+from .metrics.cpu import CpuBreakdown
+from .pipeline.traversal import Disposition
+from .sim.batch import CHUNK_SIZE
+from .sim.engine import CachingSystem, SimConfig, VSwitchSimulator
+from .sim.results import SimResult, TimeSeries
+from .workload.caida import CAIDA_PROFILE, TraceProfile
+from .workload.pipebench import PipebenchWorkload, Trace, build_trace
+
+__all__ = [
+    "MetricsServer",
+    "ServeConfig",
+    "ServingDriver",
+    "endless_packets",
+    "stream_trace",
+]
+
+
+def stream_trace(trace: Trace, chunk: int = CHUNK_SIZE) -> Iterator[Packet]:
+    """Yield a trace's packets via the columnar chunked decode.
+
+    Equivalent to :meth:`~repro.workload.pipebench.Trace.packets` but
+    decodes the numpy columns ``chunk`` rows at a time with one
+    ``tolist()`` call each — the same amortisation the batched loop
+    uses, repackaged for streaming consumers.
+    """
+    times, flow_indices, sizes = trace.columns()
+    pilots = trace.pilots
+    total = len(times)
+    pos = 0
+    while pos < total:
+        end = min(pos + chunk, total)
+        t_chunk = times[pos:end].tolist()
+        i_chunk = flow_indices[pos:end].tolist()
+        s_chunk = sizes[pos:end].tolist()
+        pos = end
+        for timestamp, index, size in zip(t_chunk, i_chunk, s_chunk):
+            yield Packet(
+                flow=pilots[index].flow,
+                timestamp=timestamp,
+                size=size,
+                flow_id=index,
+            )
+
+
+def endless_packets(
+    workload: PipebenchWorkload,
+    profile: TraceProfile = CAIDA_PROFILE,
+    seed: int = 1,
+) -> Iterator[Packet]:
+    """A deterministic unbounded packet stream over a workload.
+
+    Generates successive seeded trace segments with advancing time
+    offsets (segment *i* uses ``seed + i`` at offset
+    ``i * profile.duration``) and chains their packets.  Timestamps can
+    regress slightly at segment seams — flows that start near a
+    segment's end emit past its nominal duration — which is realistic
+    (NIC arrivals are not globally sorted) and harmless to the serving
+    loop's cadence logic.
+    """
+    segment = 0
+    while True:
+        trace = build_trace(
+            workload.pilots,
+            profile,
+            seed=seed + segment,
+            offset=segment * profile.duration,
+        )
+        yield from stream_trace(trace)
+        segment += 1
+
+
+# =============================================================================
+# HTTP metrics endpoint
+
+
+class _MetricsHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    render: Callable[[], str]
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    def do_GET(self) -> None:  # noqa: N802 (stdlib API name)
+        path = self.path.split("?", 1)[0]
+        if path in ("/", "/metrics"):
+            body = self.server.render().encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif path == "/healthz":
+            body = b"ok\n"
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self.send_error(404, "unknown path (try /metrics)")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # scrapes must not spam the serving process's stderr
+
+
+class MetricsServer:
+    """An opt-in Prometheus scrape endpoint on a background thread.
+
+    ``render`` is called per scrape (a retry loop absorbs the rare
+    registry-mutation race — label children can be created while a
+    scrape iterates).  ``port=0`` binds an ephemeral port, exposed as
+    :attr:`port` once bound.  :meth:`close` is idempotent: it shuts the
+    listener down, releases the port and joins the thread.
+    """
+
+    def __init__(
+        self,
+        render: Callable[[], str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        def safe_render() -> str:
+            for _ in range(8):
+                try:
+                    return render()
+                except RuntimeError:
+                    # Registry children mutated mid-iteration; retry.
+                    continue
+            return "# metrics temporarily unavailable\n"
+
+        self._server = _MetricsHTTPServer((host, port), _MetricsHandler)
+        self._server.render = safe_render
+        self.host, self.port = self._server.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        self._closed = False
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# =============================================================================
+# The serving driver
+
+
+@dataclass
+class ServeConfig:
+    """Serving-mode knobs (the simulation knobs stay on ``SimConfig``).
+
+    Attributes:
+        batch_size: Packets pulled from the source per micro-batch.
+            Purely an ingestion granularity — results are bit-identical
+            at any size (pinned differentially).
+        http: Start a :class:`MetricsServer` for the run.
+        http_host: Bind address for the metrics endpoint.
+        http_port: Bind port; ``0`` picks an ephemeral port.
+    """
+
+    batch_size: int = 256
+    http: bool = False
+    http_host: str = "127.0.0.1"
+    http_port: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+
+
+class ServingDriver:
+    """Streams micro-batches through the engine loop, indefinitely.
+
+    Lifecycle: :meth:`start` prepares the run (same per-run setup as the
+    batch engine, plus the optional metrics endpoint), :meth:`process`
+    pushes one micro-batch of packets through the per-packet body, and
+    :meth:`finish` finalizes telemetry, stops the endpoint and returns
+    the :class:`~repro.sim.results.SimResult`.  :meth:`serve` wraps the
+    three around any packet iterable with optional packet/sim-time
+    bounds.
+
+    **Lockstep contract:** the body of :meth:`process` mirrors
+    :meth:`~repro.sim.engine.VSwitchSimulator.run_packets` exactly (loop
+    state lives on the instance between batches).  Any change to either
+    body must be made in both — ``tests/test_serve.py`` and
+    ``tests/test_serve_differential.py`` fail loudly on drift.
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        system: CachingSystem,
+        config: Optional[SimConfig] = None,
+        serve_config: Optional[ServeConfig] = None,
+    ):
+        self.simulator = VSwitchSimulator(pipeline, system, config)
+        self.serve_config = serve_config or ServeConfig()
+        self.metrics_server: Optional[MetricsServer] = None
+        self._started = False
+        self._finished = False
+
+    # -- engine-state plumbing ------------------------------------------------
+
+    @property
+    def telemetry(self):
+        return self._tel
+
+    @property
+    def churn(self):
+        return self.simulator.churn
+
+    @property
+    def now(self) -> float:
+        """Simulated time of the last processed packet."""
+        return self._now
+
+    @property
+    def packet_count(self) -> int:
+        return self._packet_count
+
+    def start(self) -> "ServingDriver":
+        """Prepare the run; idempotent once per driver."""
+        if self._started:
+            raise RuntimeError("ServingDriver.start() already called")
+        self._started = True
+        simulator = self.simulator
+        config = simulator.config
+        self._tel, self._ctl, self._lookup, self._on_lookup = (
+            simulator._prepare_run()
+        )
+        self._cpu = CpuBreakdown()
+        self._series = TimeSeries(config.window)
+        self._latency_sum = 0.0
+        self._miss_cost_sum = 0.0
+        self._packet_count = 0
+        self._peak_entries = 0
+        self._cache_probes = 0
+        self._next_sweep = config.sweep_interval
+        self._next_snapshot = config.sweep_interval
+        self._now = 0.0
+        serve = self.serve_config
+        if serve.http:
+            self.metrics_server = MetricsServer(
+                self._render_metrics,
+                host=serve.http_host,
+                port=serve.http_port,
+            )
+        return self
+
+    def _render_metrics(self) -> str:
+        if self._tel is None:
+            return "# no telemetry attached to this serving run\n"
+        return self._tel.registry.to_prometheus()
+
+    def process(self, packets: Iterable[Packet]) -> int:
+        """Run one micro-batch through the engine body; returns its size.
+
+        The body below is ``run_packets``'s, verbatim, with loop state
+        hoisted from/to the instance around the batch — keep in
+        lockstep (see the class docstring).
+        """
+        if not self._started:
+            raise RuntimeError("call start() before process()")
+        if self._finished:
+            raise RuntimeError("driver already finished")
+        simulator = self.simulator
+        config = simulator.config
+        system = simulator.system
+        cache = system.cache
+        pipeline = simulator.pipeline
+        slowpath = config.latency.slowpath
+        cpu = self._cpu
+        series = self._series
+        latency_sum = self._latency_sum
+        miss_cost_sum = self._miss_cost_sum
+        packet_count = self._packet_count
+        peak_entries = self._peak_entries
+        cache_probes = self._cache_probes
+        max_idle = config.max_idle
+        sweep_interval = config.sweep_interval
+        hit_us = config.latency.hit_us
+        next_sweep = self._next_sweep
+        next_snapshot = self._next_snapshot
+        tel = self._tel
+        ctl = self._ctl
+        lookup = self._lookup
+        on_lookup = self._on_lookup
+        churn = simulator.churn
+        now = self._now
+        batch_start = packet_count
+
+        for packet in packets:
+            now = packet.timestamp
+            packet_count += 1
+            if max_idle > 0:
+                # Fixed cadence: fire one sweep per elapsed interval, at
+                # its scheduled time, so sparse traces neither slide the
+                # schedule nor skip sweeps.
+                while now >= next_sweep:
+                    evicted = cache.evict_idle(next_sweep, max_idle)
+                    if tel is not None:
+                        tel.on_sweep(next_sweep, evicted)
+                    next_sweep += sweep_interval
+            if tel is not None:
+                tel.now = now
+                # Snapshots ride the sweep cadence but fire even when
+                # idle expiry is disabled (max_idle == 0).
+                while now >= next_snapshot:
+                    snapshot = tel.sample(cache, next_snapshot)
+                    if ctl is not None:
+                        ctl.on_sweep(next_snapshot, snapshot)
+                    next_snapshot += sweep_interval
+            if churn is not None:
+                # Control-plane churn rides its own deadlines (events +
+                # reval ticks), fired after sweeps and snapshots — the
+                # cadence order every loop must share.
+                while now >= churn.deadline:
+                    churn.advance(churn.deadline)
+
+            result = lookup(packet.flow, now)
+            cache_probes += result.groups_probed
+            if on_lookup is not None:
+                on_lookup(result, now, packet.flow)
+            if result.hit:
+                latency_sum += hit_us
+                series.record(now, hit=True)
+                continue
+
+            series.record(now, hit=False)
+            groups_before = pipeline.stats.groups_probed
+            traversal = pipeline.execute(packet.flow)
+            groups = pipeline.stats.groups_probed - groups_before
+            lookups = len(traversal)
+            cpu.charge_pipeline(lookups, groups)
+            miss_us = slowpath.pipeline_us(lookups, groups)
+
+            if traversal.disposition != Disposition.CONTROLLER:
+                cost = system.install(traversal, pipeline.generation, now)
+                if tel is not None:
+                    tel.on_install(
+                        now, lookups, cost.rules_generated,
+                        cost.rules_installed,
+                    )
+                if cost.partition_cells:
+                    cpu.charge_partition(
+                        lookups, cost.partition_cells // max(lookups, 1)
+                    )
+                    miss_us += slowpath.partition_us(
+                        lookups, cost.partition_cells // max(lookups, 1)
+                    )
+                cpu.charge_rulegen(
+                    cost.rules_generated, cost.rules_installed
+                )
+                miss_us += slowpath.rulegen_us(cost.rules_generated)
+                if cost.rules_installed:
+                    entries = cache.entry_count()
+                    if entries > peak_entries:
+                        peak_entries = entries
+
+            latency_sum += miss_us
+            miss_cost_sum += miss_us
+
+        self._latency_sum = latency_sum
+        self._miss_cost_sum = miss_cost_sum
+        self._packet_count = packet_count
+        self._peak_entries = peak_entries
+        self._cache_probes = cache_probes
+        self._next_sweep = next_sweep
+        self._next_snapshot = next_snapshot
+        self._now = now
+        return packet_count - batch_start
+
+    def finish(self) -> SimResult:
+        """Finalize the run; stops the metrics endpoint.  Idempotent."""
+        if not self._started:
+            raise RuntimeError("call start() before finish()")
+        if self._finished:
+            return self._result
+        self._finished = True
+        if self.metrics_server is not None:
+            self.metrics_server.close()
+        self._result = self.simulator._finish_run(
+            self._tel,
+            self._ctl,
+            self._now,
+            self._packet_count,
+            self._peak_entries,
+            self._cache_probes,
+            self._latency_sum,
+            self._miss_cost_sum,
+            self._cpu,
+            self._series,
+        )
+        return self._result
+
+    def serve(
+        self,
+        source: Iterable[Packet],
+        max_packets: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+        on_batch: Optional[Callable[["ServingDriver"], None]] = None,
+    ) -> SimResult:
+        """Consume ``source`` in micro-batches until a bound trips.
+
+        ``max_packets`` stops after exactly that many packets;
+        ``max_seconds`` stops *before* the first packet whose timestamp
+        is ``>= max_seconds`` (both bounds are deterministic functions
+        of the stream, never of batch size).  ``on_batch`` runs after
+        each micro-batch — the hook soak tests and CLI progress use.
+        With no bounds, serves until the source is exhausted.
+        """
+        if not self._started:
+            self.start()
+        batch_size = self.serve_config.batch_size
+        iterator = iter(source)
+        remaining = max_packets
+        try:
+            while True:
+                if remaining is not None and remaining <= 0:
+                    break
+                batch = []
+                for packet in iterator:
+                    if (
+                        max_seconds is not None
+                        and packet.timestamp >= max_seconds
+                    ):
+                        iterator = iter(())
+                        break
+                    batch.append(packet)
+                    if remaining is not None:
+                        remaining -= 1
+                        if remaining <= 0:
+                            break
+                    if len(batch) >= batch_size:
+                        break
+                if not batch:
+                    break
+                self.process(batch)
+                if on_batch is not None:
+                    on_batch(self)
+                if remaining is not None and remaining <= 0:
+                    break
+        finally:
+            result = self.finish()
+        return result

@@ -11,6 +11,7 @@ from .engine import (
     VSwitchSimulator,
     run_comparison,
 )
+from .churn import ChurnConfig, ChurnRuntime, resolve_churn
 from .fastpath import FastPathIndex
 from .results import SimResult, TimeSeries
 from .sharded import (
@@ -26,6 +27,8 @@ from .sharded import (
 __all__ = [
     "AdaptiveGigaflowSystem",
     "CachingSystem",
+    "ChurnConfig",
+    "ChurnRuntime",
     "FastPathIndex",
     "GigaflowSystem",
     "HierarchySystem",
@@ -40,6 +43,7 @@ __all__ = [
     "TimeSeries",
     "VSwitchSimulator",
     "flow_shard",
+    "resolve_churn",
     "shard_seed",
     "split_trace",
     "run_comparison",

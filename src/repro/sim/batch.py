@@ -68,6 +68,7 @@ def run_batched(simulator, trace: Trace) -> SimResult:
     hit_us = config.latency.hit_us
     next_sweep = sweep_interval
     tel, ctl, lookup, on_lookup = simulator._prepare_run()
+    churn = simulator.churn
     next_snapshot = sweep_interval
 
     times, flow_indices, _sizes = trace.columns()
@@ -109,10 +110,13 @@ def run_batched(simulator, trace: Trace) -> SimResult:
                 deadline = next_sweep
             if tel is not None and next_snapshot < deadline:
                 deadline = next_snapshot
+            if churn is not None and churn.deadline < deadline:
+                deadline = churn.deadline
             if first >= deadline:
                 # The boundary packet has crossed one or more cadence
                 # deadlines: fire them all in the streaming loop's
-                # order (idle sweeps, then snapshots), then re-split.
+                # order (idle sweeps, then snapshots, then churn), then
+                # re-split.
                 if max_idle > 0:
                     while first >= next_sweep:
                         evicted = cache.evict_idle(next_sweep, max_idle)
@@ -126,6 +130,9 @@ def run_batched(simulator, trace: Trace) -> SimResult:
                         if ctl is not None:
                             ctl.on_sweep(next_snapshot, snapshot)
                         next_snapshot += sweep_interval
+                if churn is not None:
+                    while first >= churn.deadline:
+                        churn.advance(churn.deadline)
                 continue
             # Timestamps are sorted (Trace invariant): everything
             # before the bisection point is deadline-free.

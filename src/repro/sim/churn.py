@@ -1,0 +1,195 @@
+"""Engine-side churn runtime: applies schedules at exact sim-time deadlines.
+
+:class:`ChurnRuntime` is the bridge between a declarative
+:class:`~repro.workload.churn.ChurnSchedule` and the three inner loops
+(streaming :meth:`~repro.sim.engine.VSwitchSimulator.run_packets`, the
+batched :func:`~repro.sim.batch.run_batched` path, and the serving
+driver :mod:`repro.serve`).  It owns two deadline streams:
+
+* **Events** — each schedule entry fires exactly at its timestamp,
+  mutating the pipeline (and bumping its generation);
+* **Revalidation ticks** — every ``reval_interval`` seconds an
+  :class:`~repro.core.revalidation.IncrementalRevalidator` checks up to
+  ``reval_budget`` stale entries, the OVS-revalidator-style catch-up
+  whose residue is the *revalidation backlog*.
+
+Both streams are driven purely by simulated packet time: the loops call
+``while now >= churn.deadline: churn.advance(churn.deadline)`` before
+processing the packet that crossed the deadline, after idle sweeps and
+telemetry snapshots (the fixed cadence-firing order).  Because deadlines
+and firing order depend only on timestamps — never on chunk or
+micro-batch boundaries — a schedule replays bit-identically across all
+three loops, which the differential battery in
+``tests/test_serve_differential.py`` pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.revalidation import IncrementalRevalidator
+from ..pipeline.pipeline import Pipeline
+from ..workload.churn import ChurnSchedule
+
+__all__ = ["ChurnConfig", "ChurnRuntime", "resolve_churn"]
+
+_INF = float("inf")
+
+
+@dataclass
+class ChurnConfig:
+    """How a run consumes a churn schedule.
+
+    Attributes:
+        schedule: The events to apply.
+        reval_interval: Incremental-revalidation tick cadence (seconds);
+            ``None`` rides the engine's ``sweep_interval``.
+        reval_budget: Stale entries checked per tick; ``0`` drains the
+            whole backlog every tick (full-pass revalidation on a
+            cadence).  A finite budget is what makes the backlog a real
+            signal: it grows when churn outpaces the budget and drains
+            when the control plane quiets down.
+    """
+
+    schedule: ChurnSchedule
+    reval_interval: Optional[float] = None
+    reval_budget: int = 64
+
+    def __post_init__(self) -> None:
+        if self.reval_interval is not None and self.reval_interval <= 0:
+            raise ValueError("reval_interval must be positive")
+        if self.reval_budget < 0:
+            raise ValueError("reval_budget must be non-negative")
+
+
+def resolve_churn(spec) -> ChurnConfig:
+    """Normalise ``SimConfig.churn`` values into a :class:`ChurnConfig`."""
+    if isinstance(spec, ChurnConfig):
+        return spec
+    if isinstance(spec, ChurnSchedule):
+        return ChurnConfig(schedule=spec)
+    raise TypeError(
+        "SimConfig.churn accepts a ChurnSchedule or ChurnConfig, got "
+        f"{type(spec).__name__}"
+    )
+
+
+class ChurnRuntime:
+    """Per-run churn state: pending events, reval cadence, counters.
+
+    Built fresh by :meth:`VSwitchSimulator._prepare_run` (exposed as
+    ``simulator.churn``), so one :class:`ChurnConfig` can parameterise
+    many runs.  ``advance`` must be called with the current
+    :attr:`deadline` and strictly increases it, so the engine's
+    ``while now >= deadline`` loops always terminate.
+    """
+
+    def __init__(
+        self,
+        config: ChurnConfig,
+        pipeline: Pipeline,
+        cache,
+        telemetry,
+        sweep_interval: float,
+    ):
+        self.config = config
+        self.pipeline = pipeline
+        self.revalidator = IncrementalRevalidator(pipeline, cache)
+        self._tel = telemetry
+        self._cache_name = getattr(cache, "telemetry_name", None) or getattr(
+            cache, "name", "cache"
+        )
+        interval = (
+            config.reval_interval
+            if config.reval_interval is not None
+            else sweep_interval
+        )
+        if interval <= 0:
+            raise ValueError(
+                "churn needs a positive reval cadence: set "
+                "ChurnConfig.reval_interval when sweep_interval is 0"
+            )
+        self._interval = interval
+        self._events = config.schedule.events
+        self._next_index = 0
+        self._next_event = (
+            self._events[0].at if self._events else _INF
+        )
+        self._next_tick = interval
+        #: Earliest pending deadline (event or reval tick).
+        self.deadline = min(self._next_event, self._next_tick)
+        #: Rules installed by events, keyed for later removal.
+        self._installed: Dict[str, Tuple[int, object]] = {}
+
+        self.events_applied = 0
+        self.rule_ops: Dict[str, int] = {"install": 0, "remove": 0}
+        self.reval_ticks = 0
+        self.backlog = 0
+        self.backlog_peak = 0
+
+    def advance(self, t: float) -> None:
+        """Fire everything due at ``t`` (events first, then a reval tick)."""
+        if t >= self._next_event:
+            events = self._events
+            index = self._next_index
+            while index < len(events) and events[index].at <= t:
+                event = events[index]
+                index += 1
+                outcome = event.apply(self.pipeline, self._installed)
+                self.events_applied += 1
+                self.rule_ops["install"] += outcome.installed
+                self.rule_ops["remove"] += outcome.removed
+                if self._tel is not None:
+                    self._tel.on_churn(
+                        event.at,
+                        self._cache_name,
+                        event.kind,
+                        outcome.installed,
+                        outcome.removed,
+                    )
+            self._next_index = index
+            self._next_event = (
+                events[index].at if index < len(events) else _INF
+            )
+        if t >= self._next_tick:
+            report, backlog = self.revalidator.process(
+                self._next_tick, self.config.reval_budget
+            )
+            checked_plus_backlog = report.entries_checked + backlog
+            if checked_plus_backlog > self.backlog_peak:
+                self.backlog_peak = checked_plus_backlog
+            self.backlog = backlog
+            self.reval_ticks += 1
+            if self._tel is not None:
+                self._tel.on_reval_tick(
+                    self._next_tick,
+                    self._cache_name,
+                    backlog,
+                    report.entries_checked,
+                )
+            self._next_tick += self._interval
+        self.deadline = min(self._next_event, self._next_tick)
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._events) - self._next_index
+
+    def digest(self) -> dict:
+        """Compact per-run churn summary (``SimResult.telemetry["churn"]``)."""
+        by_kind: Dict[str, int] = {}
+        for event in self._events[: self._next_index]:
+            by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+        reval = self.revalidator
+        return {
+            "events": self.events_applied,
+            "events_by_kind": by_kind,
+            "rule_ops": dict(self.rule_ops),
+            "pending_events": self.pending_events,
+            "reval_ticks": self.reval_ticks,
+            "reval_checked": reval.total_checked,
+            "reval_evicted": reval.total_evicted,
+            "reval_lookups": reval.total_lookups,
+            "backlog": self.backlog,
+            "backlog_peak": self.backlog_peak,
+        }

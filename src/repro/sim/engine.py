@@ -266,6 +266,22 @@ class SimConfig:
             predictor-framework twin, pinned bit-identical by
             ``tests/test_timeouts_golden.py``.  Sharded runs build one
             private predictor per worker.
+        churn: Optional control-plane churn
+            (:class:`~repro.workload.churn.ChurnSchedule` or
+            :class:`~repro.sim.churn.ChurnConfig`).  When set, the
+            engine applies the schedule's rule mutations to the pipeline
+            at their exact simulated times while traffic flows, and runs
+            an :class:`~repro.core.revalidation.IncrementalRevalidator`
+            tick every ``reval_interval`` seconds (default: the sweep
+            cadence) with a per-tick entry budget — the runtime is
+            exposed as :attr:`VSwitchSimulator.churn` and its digest
+            lands in ``SimResult.telemetry["churn"]`` when telemetry is
+            attached.  Deadlines are driven purely by packet timestamps,
+            so churn-bearing runs stay bit-identical across the
+            streaming, batched and serving loops
+            (``tests/test_serve_differential.py`` pins it).  Like
+            ``controller``, this knob steers the simulation.  Requires a
+            Megaflow or Gigaflow cache (no hierarchy support).
         shards: Worker count for :class:`~repro.sim.sharded.ShardedSimulator`
             (1 = the classic single-process engine).  Plain
             :class:`VSwitchSimulator` ignores it; the sharded driver
@@ -284,6 +300,7 @@ class SimConfig:
     controller: object = None
     timeouts: object = None
     batch: bool = True
+    churn: object = None
     shards: int = 1
 
 
@@ -308,6 +325,10 @@ class VSwitchSimulator:
         #: The timeout predictor of the most recent run (None when
         #: disabled) — exposes its counters and learned state.
         self.timeout_predictor = None
+        #: The churn runtime of the most recent run (None when no
+        #: churn is configured) — exposes applied-event counters and
+        #: the revalidation backlog.
+        self.churn = None
 
     def run(self, trace: Trace) -> SimResult:
         if self.config.batch and hasattr(trace, "columns"):
@@ -379,6 +400,18 @@ class VSwitchSimulator:
             tel.attach_fastpath(self.fastpath)
         if tel is not None and predictor is not None:
             tel.attach_timeouts(predictor)
+        if config.churn is not None:
+            from .churn import ChurnRuntime, resolve_churn
+
+            self.churn = ChurnRuntime(
+                resolve_churn(config.churn),
+                self.pipeline,
+                cache,
+                tel,
+                config.sweep_interval,
+            )
+        else:
+            self.churn = None
         lookup = (
             self.fastpath.lookup if self.fastpath is not None
             else cache.lookup
@@ -414,6 +447,8 @@ class VSwitchSimulator:
                 telemetry_summary["timeouts"] = (
                     self.timeout_predictor.summary()
                 )
+            if self.churn is not None:
+                telemetry_summary["churn"] = self.churn.digest()
 
         stats = cache.stats.snapshot()
         misses = stats.misses
@@ -456,6 +491,7 @@ class VSwitchSimulator:
         hit_us = config.latency.hit_us
         next_sweep = sweep_interval
         tel, ctl, lookup, on_lookup = self._prepare_run()
+        churn = self.churn
         next_snapshot = sweep_interval
 
         now = 0.0
@@ -480,6 +516,12 @@ class VSwitchSimulator:
                     if ctl is not None:
                         ctl.on_sweep(next_snapshot, snapshot)
                     next_snapshot += sweep_interval
+            if churn is not None:
+                # Control-plane churn rides its own deadlines (events +
+                # reval ticks), fired after sweeps and snapshots — the
+                # cadence order every loop must share.
+                while now >= churn.deadline:
+                    churn.advance(churn.deadline)
 
             result = lookup(packet.flow, now)
             cache_probes += result.groups_probed

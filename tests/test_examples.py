@@ -37,3 +37,9 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "revalidation" in result.stdout
         assert "evicted" in result.stdout
+        # The push/revert pair goes through the churn workload API, so
+        # both scheduled events must fire and the revert must strand a
+        # second eviction wave (the slow path re-cached denied flows).
+        assert "churn event 'acl_update'" in result.stdout
+        assert "churn event 'acl_revert'" in result.stdout
+        assert "re-cached" in result.stdout
