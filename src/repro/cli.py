@@ -25,7 +25,15 @@ bench
     ``--churn`` adds the control-plane churn phase: hit-rate dip and
     recovery under a mid-trace insert/delete storm with budgeted
     incremental revalidation (``BENCH_churn.json``).
+    ``--net`` adds the fabric spine-pressure phase: one trace through
+    an 8x2 leaf/spine fabric with identically sized per-switch caches,
+    reporting leaf-vs-spine hit rates (``BENCH_net.json``).
     ``--smoke`` shrinks it all for CI.
+net
+    Multi-switch fabric simulation (:mod:`repro.net`): one cache per
+    hop along ECMP-spread shortest paths over a leaf/spine, linear or
+    ring topology, with optional mid-run link failures
+    (``--fail-link A:B:TIME``) and per-switch/per-role hit rates.
 stats
     Run one simulation with telemetry attached and export the
     metrics (Prometheus text, JSON, or a rendered table); ``--trace-out``
@@ -266,7 +274,150 @@ def cmd_bench(args: argparse.Namespace) -> int:
         _bench_timeouts(args, spec)
     if args.churn:
         _bench_churn(args, spec)
+    if args.net:
+        _bench_net(args, spec)
     return 0
+
+
+def _bench_net(args: argparse.Namespace, spec) -> None:
+    """Fabric spine-pressure bench: leaf vs spine hit rates.
+
+    One trace crosses a leaf/spine fabric (:mod:`repro.net`) whose
+    switches all carry *identically sized* caches, with endpoint
+    locality low enough that most flows cross a spine.  With ``L``
+    leaves, ``S`` spines and cross-leaf fraction ``c``, each leaf holds
+    about ``(1 - c + 2c) / L`` of the distinct flows while each spine
+    holds ``c / S`` — at ``L=8, S=2, c=0.75`` the spines carry ~1.7x
+    the per-leaf flow load.  Per-switch capacity is sized *between*
+    those two loads, so the leaves fit comfortably while the spines run
+    under genuine capacity pressure: the leaf-vs-spine hit-rate gap in
+    ``BENCH_net.json`` is the aggregation-pressure signal the CI gate
+    asserts on (``spine_pressure_ok``).
+    """
+    from .net import FabricController, FabricSimulator, leaf_spine
+    from .obs import Telemetry
+    from .sim import GigaflowSystem, SimConfig
+    from .workload import (
+        TraceProfile,
+        build_fabric_endpoints,
+        build_workload,
+    )
+
+    leaves, spines = 8, 2
+    topology = leaf_spine(leaves, spines)
+    cross = 1.0 - args.net_locality
+    per_leaf_load = args.flows * (args.net_locality + 2 * cross) / leaves
+    per_spine_load = args.flows * cross / spines
+    # Midpoint sizing: leaves under capacity, spines over it.
+    capacity = max(int((per_leaf_load + per_spine_load) / 2), 8)
+
+    profile = TraceProfile(
+        mean_flow_size=args.mean_flow_size, duration=args.duration
+    )
+    workload = build_workload(
+        spec, n_flows=args.flows, locality=args.locality, seed=args.seed
+    )
+    trace = workload.trace(profile=profile, seed=args.trace_seed)
+    endpoints = build_fabric_endpoints(
+        topology, args.flows, locality=args.net_locality, seed=args.seed
+    )
+    controller = FabricController(topology, endpoints)
+
+    def pipeline_factory(_context):
+        # Same spec + seed => identical rule state per switch.
+        return build_workload(
+            spec, n_flows=args.flows, locality=args.locality,
+            seed=args.seed,
+        ).pipeline
+
+    def system_factory(_context):
+        # Identical sizing across roles on purpose: the hit-rate gap
+        # then measures pressure, not provisioning.
+        return GigaflowSystem(
+            num_tables=4, table_capacity=max(capacity // 4, 2)
+        )
+
+    fabric = FabricSimulator(
+        topology,
+        pipeline_factory,
+        system_factory,
+        controller=controller,
+        config=SimConfig(fast_path=True, telemetry=Telemetry()),
+    )
+    start = time.perf_counter()
+    fres = fabric.run(trace)
+    elapsed = time.perf_counter() - start
+
+    merged = fres.merged
+    by_role = fres.hit_rate_by_role()
+    gap = by_role["leaf"] - by_role["spine"]
+    report = {
+        "pipeline": spec.name,
+        "topology": topology.name,
+        "leaves": leaves,
+        "spines": spines,
+        "locality": args.locality,
+        "net_locality": args.net_locality,
+        "flows": args.flows,
+        "capacity_per_switch": capacity,
+        "expected_flow_load": {
+            "per_leaf": round(per_leaf_load, 1),
+            "per_spine": round(per_spine_load, 1),
+        },
+        "mean_flow_size": args.mean_flow_size,
+        "duration": args.duration,
+        "seed": args.seed,
+        "seconds": round(elapsed, 3),
+        "packets": fres.packets,
+        "hops_total": fres.hops_total,
+        "path_length_counts": {
+            str(k): v for k, v in sorted(fres.path_length_counts.items())
+        },
+        "conservation_ok": fres.hops_total == merged.packets,
+        "hit_rate_by_role": {
+            role: round(rate, 6) for role, rate in by_role.items()
+        },
+        "leaf_spine_gap": round(gap, 6),
+        # Gap must clear noise: spines are the pressured tier.
+        "spine_pressure_ok": gap >= 0.01,
+        "fabric_hit_rate": round(merged.hit_rate, 6),
+        "peak_entries_upper_bound": merged.peak_entries,
+        "peak_entries_exact": merged.peak_entries_exact,
+        "peak_entries_per_switch": {
+            name: fres.switch_results[name].peak_entries
+            for name in fres.switches
+        },
+        "switches": {
+            name: {
+                "role": topology.role(name),
+                "packets": fres.switch_results[name].packets,
+                "hit_rate": round(
+                    fres.switch_results[name].hit_rate, 6
+                ),
+                "misses": fres.switch_results[name].misses,
+                "evictions": fres.switch_results[name].stats.evictions,
+                "peak_entries": fres.switch_results[name].peak_entries,
+            }
+            for name in fres.switches
+        },
+    }
+    print(f"net: {topology.name}  {fres.packets:,} packets -> "
+          f"{fres.hops_total:,} hop traversals in {elapsed:.2f}s")
+    print(f"net: per-switch capacity {capacity} "
+          f"(leaf load ~{per_leaf_load:.0f}, "
+          f"spine load ~{per_spine_load:.0f})")
+    print(f"net: hit_rate leaf={by_role['leaf']:.4f} "
+          f"spine={by_role['spine']:.4f} gap={gap:+.4f} "
+          f"(spine pressure: "
+          f"{'ok' if report['spine_pressure_ok'] else 'MISS'})")
+    print(f"net: fabric {merged.peak_entries_label()} "
+          f"(exact per switch: "
+          f"{[fres.switch_results[n].peak_entries for n in fres.switches]})")
+
+    with open(args.net_output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.net_output}")
 
 
 def _bench_shards(args: argparse.Namespace, spec) -> None:
@@ -390,6 +541,14 @@ def _bench_shards(args: argparse.Namespace, spec) -> None:
             "hit_rate": round(result.hit_rate, 6),
             "misses": result.misses,
             "cache_probes": result.cache_probes,
+            # Merged across workers: peaks need not be simultaneous,
+            # so the scalar is an upper bound — the exact per-worker
+            # peaks ride alongside.
+            "peak_entries_upper_bound": result.peak_entries,
+            "peak_entries_exact": result.peak_entries_exact,
+            "peak_entries_per_shard": list(
+                result.peak_entries_per_shard or (result.peak_entries,)
+            ),
         }
         report["runs"][f"workers_{count}"] = entry
         print(f"workers={count}  cpu_max={cpu_max:6.2f}s  "
@@ -1005,6 +1164,10 @@ def _bench_evictions(args: argparse.Namespace, spec) -> None:
                 "misses": stats.misses,
                 "evictions": stats.evictions,
                 "peak_entries": result.peak_entries,
+                # Single-engine run: the peak is an observed value, not
+                # a merged upper bound.  Merged rows (shards/net) must
+                # set this false and name the bound.
+                "peak_entries_exact": result.peak_entries_exact,
                 "entry_count": result.entry_count,
                 "occupancy": round(
                     result.entry_count / result.capacity, 4
@@ -1369,7 +1532,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"{driver.now:.1f} simulated seconds "
           f"({args.system}, {spec.name})")
     print(f"hit_rate={result.hit_rate:.4f}  "
-          f"peak_entries={result.peak_entries}  "
+          f"{result.peak_entries_label()}  "
           f"capacity={result.capacity}")
     if churn is not None:
         digest = result.telemetry["churn"]
@@ -1388,6 +1551,126 @@ def cmd_serve(args: argparse.Namespace) -> int:
                   f"(backlog={digest['backlog']}, "
                   f"pending_events={digest['pending_events']})")
             return 1
+    return 0
+
+
+def cmd_net(args: argparse.Namespace) -> int:
+    """Run one trace through a multi-switch fabric (:mod:`repro.net`)."""
+    from .net import (
+        FabricController,
+        FabricSimulator,
+        leaf_spine,
+        linear,
+        ring,
+    )
+    from .obs import Telemetry
+    from .pipeline.library import get_pipeline_spec
+    from .sim import SimConfig
+    from .workload import (
+        TraceProfile,
+        build_fabric_endpoints,
+        build_workload,
+    )
+
+    spec = get_pipeline_spec(args.pipeline.upper())
+    if args.topology == "leaf-spine":
+        topology = leaf_spine(args.leaves, args.spines)
+    elif args.topology == "linear":
+        topology = linear(args.length)
+    else:
+        topology = ring(args.length)
+
+    capacity = args.capacity or max(args.flows * 2, 8)
+    workload = build_workload(
+        spec, n_flows=args.flows, locality=args.locality, seed=args.seed
+    )
+    profile = TraceProfile(
+        mean_flow_size=args.mean_flow_size, duration=args.duration
+    )
+    trace = workload.trace(profile=profile, seed=args.trace_seed)
+    endpoints = build_fabric_endpoints(
+        topology, args.flows, locality=args.net_locality, seed=args.seed
+    )
+    controller = FabricController(topology, endpoints)
+
+    failures = []
+    for item in args.fail_link or []:
+        try:
+            a, b, at = item.split(":")
+            failures.append((float(at), a, b))
+        except ValueError:
+            print(f"bad --fail-link {item!r}: expected A:B:TIME",
+                  file=sys.stderr)
+            return 2
+
+    fabric = FabricSimulator(
+        topology,
+        pipeline_factory=lambda _context: build_workload(
+            spec, n_flows=args.flows, locality=args.locality,
+            seed=args.seed,
+        ).pipeline,
+        system_factory=lambda _context: _make_system(
+            args.system, capacity, args.eviction
+        ),
+        controller=controller,
+        config=SimConfig(
+            max_idle=args.max_idle,
+            sweep_interval=args.sweep_interval,
+            fast_path=True,
+            telemetry=Telemetry(),
+        ),
+        batch_size=args.batch_size,
+        link_failures=failures,
+    )
+    fres = fabric.run(trace)
+    merged = fres.merged
+
+    if args.format == "json":
+        payload = {
+            "topology": topology.name,
+            "switches": {
+                name: {
+                    "role": topology.role(name),
+                    "packets": fres.switch_results[name].packets,
+                    "hit_rate": fres.switch_results[name].hit_rate,
+                    "peak_entries":
+                        fres.switch_results[name].peak_entries,
+                }
+                for name in fres.switches
+            },
+            "hit_rate_by_role": fres.hit_rate_by_role(),
+            "packets": fres.packets,
+            "hops_total": fres.hops_total,
+            "path_length_counts": {
+                str(k): v
+                for k, v in sorted(fres.path_length_counts.items())
+            },
+            "reroutes": fres.reroutes,
+            "fabric_hit_rate": merged.hit_rate,
+            "peak_entries_upper_bound": merged.peak_entries,
+            "peak_entries_exact": merged.peak_entries_exact,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print(f"{topology.name}: {len(topology)} switches, "
+          f"{len(topology.links)} links ({spec.name}, {args.system})")
+    print(f"{'switch':<10}{'role':<8}{'packets':>9}{'hit_rate':>10}"
+          f"{'peak':>7}")
+    for name in fres.switches:
+        result = fres.switch_results[name]
+        print(f"{name:<10}{topology.role(name):<8}{result.packets:>9}"
+              f"{result.hit_rate:>10.4f}{result.peak_entries:>7}")
+    for role, rate in sorted(fres.hit_rate_by_role().items()):
+        print(f"role {role}: hit_rate={rate:.4f}")
+    print(f"{fres.packets} packets -> {fres.hops_total} hop traversals "
+          f"(paths: "
+          + ", ".join(f"{n} hop x{c}" for n, c in
+                      sorted(fres.path_length_counts.items()))
+          + f"); reroutes={fres.reroutes}")
+    # Merged peak is a bound (per-switch peaks need not align in time).
+    print(f"fabric: hit_rate={merged.hit_rate:.4f} "
+          f"{merged.peak_entries_label()}/{merged.capacity}")
     return 0
 
 
@@ -1548,6 +1831,102 @@ def build_parser() -> argparse.ArgumentParser:
         "--churn-output", default="BENCH_churn.json",
         help="where to write the churn dip/recovery report",
     )
+    bench.add_argument(
+        "--net", action="store_true",
+        help="also run the fabric spine-pressure phase: one trace "
+             "through an 8x2 leaf/spine fabric with identically sized "
+             "per-switch caches (spine vs leaf hit rates)",
+    )
+    bench.add_argument(
+        "--net-output", default="BENCH_net.json",
+        help="where to write the fabric spine-pressure report",
+    )
+    bench.add_argument(
+        "--net-locality", type=float, default=0.25,
+        help="fraction of flows whose endpoints share a leaf "
+             "(default 0.25: most flows cross a spine)",
+    )
+
+    net = sub.add_parser(
+        "net",
+        help="simulate a multi-switch fabric: one cache per hop, "
+             "ECMP-spread shortest paths, optional link failures",
+    )
+    net.add_argument(
+        "pipeline", nargs="?", default="psc",
+        choices=[p.lower() for p in PIPELINES] + list(PIPELINES),
+    )
+    net.add_argument(
+        "--topology", choices=("leaf-spine", "linear", "ring"),
+        default="leaf-spine",
+    )
+    net.add_argument(
+        "--leaves", type=int, default=4,
+        help="leaf switches (leaf-spine; default 4)",
+    )
+    net.add_argument(
+        "--spines", type=int, default=2,
+        help="spine switches (leaf-spine; default 2)",
+    )
+    net.add_argument(
+        "--length", type=int, default=4,
+        help="switch count (linear/ring; default 4)",
+    )
+    net.add_argument(
+        "--system",
+        choices=("gigaflow", "megaflow", "hierarchy", "adaptive"),
+        default="gigaflow",
+    )
+    net.add_argument(
+        "--flows", type=int, default=400,
+        help="unique flow classes (default 400)",
+    )
+    net.add_argument(
+        "--capacity", type=int, default=None,
+        help="cache entries per switch (default 2x flows)",
+    )
+    net.add_argument(
+        "--locality", choices=("high", "low"), default="high",
+        help="workload reuse locality (as in the other commands)",
+    )
+    net.add_argument(
+        "--net-locality", type=float, default=0.5,
+        help="fraction of flows whose endpoints share a leaf "
+             "(default 0.5)",
+    )
+    net.add_argument(
+        "--eviction", choices=_policy_names(), default="lru",
+    )
+    net.add_argument(
+        "--mean-flow-size", type=float, default=24.0,
+        help="mean packets per flow (default 24)",
+    )
+    net.add_argument(
+        "--duration", type=float, default=10.0,
+        help="trace duration in seconds (default 10)",
+    )
+    net.add_argument(
+        "--max-idle", type=float, default=0.0,
+        help="idle-expiry threshold per switch (0 disables; default 0)",
+    )
+    net.add_argument(
+        "--sweep-interval", type=float, default=5.0,
+        help="sweep/snapshot cadence per switch (default 5)",
+    )
+    net.add_argument(
+        "--batch-size", type=int, default=256,
+        help="per-switch micro-batch size (results identical at any "
+             "size; default 256)",
+    )
+    net.add_argument(
+        "--fail-link", action="append", metavar="A:B:TIME",
+        help="take link A-B down at simulated TIME; repeatable",
+    )
+    net.add_argument(
+        "--format", choices=("text", "json"), default="text",
+    )
+    net.add_argument("--seed", type=int, default=7)
+    net.add_argument("--trace-seed", type=int, default=3)
 
     trace = sub.add_parser(
         "trace",
@@ -1754,6 +2133,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "coverage": cmd_coverage,
     "bench": cmd_bench,
+    "net": cmd_net,
     "stats": cmd_stats,
     "serve": cmd_serve,
     "trace": cmd_trace,

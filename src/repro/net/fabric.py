@@ -1,0 +1,516 @@
+"""Multi-switch fabric simulation: one cache per hop, one controller.
+
+The classic engine models a *single* vSwitch.  A real deployment is a
+fabric: a packet enters at a leaf, crosses one or more aggregation
+switches, and exits at another leaf — and **every hop runs its own
+Gigaflow cache** over its own pipeline.  This module lifts the existing
+machinery to that layout without forking any of it:
+
+* each switch is one :class:`~repro.serve.ServingDriver` (the serving
+  loop is proven bit-identical to the streaming and batched loops at
+  any micro-batch size, so per-switch buffering is free of
+  result-skew), with its own pipeline instance, caching system and
+  optional :class:`~repro.core.controller.AdaptiveController`;
+* the :class:`FabricController` plays the SDN controller: it owns the
+  flow → (ingress, egress) endpoint map, computes deterministic
+  ECMP-spread shortest paths, and reacts to link failures by rerouting
+  future path computations.  Rule installation stays *reactive*, as in
+  the single-switch model: each hop's cache miss runs that hop's slow
+  path and installs that hop's rules — the fabric-wide analogue of the
+  paper's miss-driven install, and the property that makes per-switch
+  micro-batching causally safe (no hop depends on another hop's
+  install having happened first);
+* per-switch results fold through the sharded engine's merge path
+  (:meth:`~repro.sim.results.SimResult.merge` with per-switch peaks
+  recorded in ``peak_entries_per_shard``,
+  :meth:`~repro.obs.metrics.MetricsRegistry.merged` for metrics);
+* control-plane churn (:class:`~repro.sim.churn.ChurnConfig`) can
+  target a subset of switches via ``ChurnConfig.switches`` — a
+  re-route/ACL push hits the named switches' pipelines mid-run while
+  the rest of the fabric keeps its cached sub-traversals;
+* with tracing enabled, every hop emits an ``EV_HOP`` event labelled
+  with the switch's cache name, so ``repro trace`` attributes chain
+  depth and probe cost by switch.
+
+**Golden contract:** a one-switch topology collapses to the classic
+engine — the caller's :class:`~repro.sim.engine.SimConfig` (telemetry
+hub included) drives the single driver directly, with no per-switch
+renaming and no hop events, so the run is bit-identical to
+:class:`~repro.sim.engine.VSwitchSimulator` on the same trace
+(``tests/test_net.py`` pins it, the same way ``shards=1`` pins the
+sharded driver).
+
+Simulated time only: hop traversal is instantaneous (no propagation
+delay), and every per-switch cadence — idle sweeps, snapshots, churn
+deadlines — fires off packet timestamps, exactly as in the single
+switch loops.  ``tests/test_wallclock_audit.py`` enforces that no
+wall-clock call ever enters this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.telemetry import Telemetry
+from ..obs.trace import BIT_HOP, CODE_HOP
+from ..serve import ServeConfig, ServingDriver, stream_trace
+from ..sim.churn import resolve_churn
+from ..sim.engine import CachingSystem, SimConfig
+from ..sim.results import SimResult
+from .topology import Link, Topology, link_key
+
+__all__ = [
+    "FabricController",
+    "FabricResult",
+    "FabricSimulator",
+    "SwitchContext",
+]
+
+
+@dataclass(frozen=True)
+class SwitchContext:
+    """What a per-switch factory knows about its place in the fabric.
+
+    Mirrors :class:`~repro.sim.sharded.ShardContext`: enough identity
+    to size a cache per role (spines typically get the same capacity as
+    leaves and that is the point — pressure, not provisioning, differs)
+    and to seed any stochastic choices deterministically.
+    """
+
+    switch: str
+    role: str
+    index: int
+    topology: Topology
+
+
+class FabricController:
+    """Central controller: endpoint map, paths, link-failure rerouting.
+
+    Args:
+        topology: The switch graph.
+        endpoints: ``{flow_id: (ingress switch, egress switch)}`` — the
+            flow's attachment points (see
+            :func:`repro.workload.fabric.build_fabric_endpoints` for
+            the locality-skewed builder).  Flows not in the map default
+            to ``default_endpoints`` when given, else raise on first
+            lookup.
+        default_endpoints: Optional fallback ``(ingress, egress)``.
+
+    Paths are memoized per flow id and recomputed lazily after
+    :meth:`fail_link`/:meth:`restore_link` invalidate the affected
+    entries; :attr:`reroutes` counts memoized paths dropped by
+    failures — the fabric-level churn signal.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        endpoints: Optional[Mapping[int, Tuple[str, str]]] = None,
+        default_endpoints: Optional[Tuple[str, str]] = None,
+    ):
+        self.topology = topology
+        self.endpoints: Dict[int, Tuple[str, str]] = dict(endpoints or {})
+        for flow_id, (src, dst) in self.endpoints.items():
+            if src not in topology or dst not in topology:
+                raise ValueError(
+                    f"flow {flow_id}: endpoints ({src!r}, {dst!r}) "
+                    f"name unknown switches"
+                )
+        if default_endpoints is not None:
+            src, dst = default_endpoints
+            if src not in topology or dst not in topology:
+                raise ValueError(
+                    f"default endpoints ({src!r}, {dst!r}) name "
+                    f"unknown switches"
+                )
+        self.default_endpoints = default_endpoints
+        self._paths: Dict[int, Tuple[str, ...]] = {}
+        self._down: set = set()
+        #: Distinct flow paths computed (memo misses).
+        self.paths_computed = 0
+        #: Memoized paths invalidated by link failures/restores.
+        self.reroutes = 0
+
+    @property
+    def down_links(self) -> FrozenSet[Link]:
+        return frozenset(self._down)
+
+    def endpoints_for(self, flow_id: int) -> Tuple[str, str]:
+        pair = self.endpoints.get(flow_id)
+        if pair is None:
+            if self.default_endpoints is None:
+                raise KeyError(
+                    f"flow {flow_id} has no endpoints and no default is set"
+                )
+            pair = self.default_endpoints
+        return pair
+
+    def path_for(self, flow_id: int) -> Tuple[str, ...]:
+        """The flow's switch path (memoized; ECMP-spread by flow id)."""
+        path = self._paths.get(flow_id)
+        if path is None:
+            src, dst = self.endpoints_for(flow_id)
+            path = self.topology.shortest_path(
+                src, dst, flow_id=flow_id, down=frozenset(self._down)
+            )
+            self._paths[flow_id] = path
+            self.paths_computed += 1
+        return path
+
+    def _invalidate_crossing(self, key: Link) -> None:
+        stale = [
+            flow_id
+            for flow_id, path in self._paths.items()
+            if any(
+                link_key(path[i], path[i + 1]) == key
+                for i in range(len(path) - 1)
+            )
+        ]
+        for flow_id in stale:
+            del self._paths[flow_id]
+        self.reroutes += len(stale)
+
+    def fail_link(self, a: str, b: str) -> None:
+        """Take a link down; flows routed across it recompute lazily."""
+        key = link_key(a, b)
+        if key not in {link_key(x, y) for x, y in self.topology.links}:
+            raise ValueError(f"({a!r}, {b!r}) is not a topology link")
+        if key in self._down:
+            return
+        self._down.add(key)
+        self._invalidate_crossing(key)
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Bring a link back; every memoized path recomputes lazily
+        (restored capacity re-balances ECMP choices fabric-wide)."""
+        key = link_key(a, b)
+        if key not in self._down:
+            return
+        self._down.discard(key)
+        self.reroutes += len(self._paths)
+        self._paths.clear()
+
+
+@dataclass
+class FabricResult:
+    """Everything one fabric run produced.
+
+    Attributes:
+        merged: The fabric-wide :class:`~repro.sim.results.SimResult` —
+            per-switch results folded through the sharded-merge path,
+            so ``packets`` counts *hop traversals* (one packet crossing
+            three switches is three lookups) and ``peak_entries`` is
+            the explicitly-bounded sum of per-switch peaks
+            (``peak_entries_per_shard`` keeps the exact per-switch
+            values, in :attr:`switch order <switches>`).
+        switch_results: Per-switch results keyed by switch name, each
+            carrying the switch-qualified system name
+            (``gigaflow@leaf0``).
+        registry: Merged per-switch metrics registry (``None`` without
+            telemetry).
+        topology: The topology the run used.
+        packets: Packets fed into the fabric (trace length, *not* hop
+            traversals).
+        hops_total: Total hop traversals (``== merged.packets``).
+        reroutes: Paths invalidated by link failures during the run.
+    """
+
+    merged: SimResult
+    switch_results: Dict[str, SimResult]
+    registry: Optional[MetricsRegistry]
+    topology: Topology
+    packets: int
+    hops_total: int
+    reroutes: int = 0
+    path_length_counts: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def switches(self) -> Tuple[str, ...]:
+        return self.topology.switches
+
+    def by_role(self, role: str) -> Optional[SimResult]:
+        """Merged result over the switches carrying ``role``."""
+        names = self.topology.by_role(role)
+        results = [
+            _with_base_system(self.switch_results[name])
+            for name in names
+            if name in self.switch_results
+        ]
+        if not results:
+            return None
+        return SimResult.merge(results)
+
+    def hit_rate_by_role(self) -> Dict[str, float]:
+        """Aggregate hit rate per role — the spine-vs-leaf headline."""
+        out: Dict[str, float] = {}
+        for name in self.switches:
+            role = self.topology.role(name)
+            out.setdefault(role, None)
+        for role in list(out):
+            merged = self.by_role(role)
+            out[role] = merged.hit_rate if merged is not None else 0.0
+        return out
+
+
+def _with_base_system(result: SimResult) -> SimResult:
+    """Strip the ``@switch`` qualifier so results can merge."""
+    base = result.system.split("@", 1)[0]
+    if base == result.system:
+        return result
+    return replace(result, system=base)
+
+
+class FabricSimulator:
+    """Drives one trace through N per-switch serving drivers.
+
+    Args:
+        topology: The switch graph.
+        pipeline_factory: ``Callable[[SwitchContext], Pipeline]`` —
+            called once per switch to build that switch's *private*
+            pipeline instance (churn mutates pipelines per switch, so
+            they must not be shared).  Building the same workload with
+            the same seed per switch yields identical rule state.
+        system_factory: ``Callable[[SwitchContext], CachingSystem]`` —
+            that switch's private caching system.  Size per role here
+            if desired; the bench deliberately sizes leaves and spines
+            identically so hit-rate differences measure *pressure*.
+        controller: The :class:`FabricController`; ``None`` builds a
+            degenerate all-flows-on-first-switch controller, valid only
+            for one-switch topologies.
+        config: Shared :class:`~repro.sim.engine.SimConfig`.
+            ``telemetry`` acts as the opt-in template (as in the
+            sharded engine): each switch gets a fresh hub mirroring the
+            template's tracer settings, with a path-opened sink fanned
+            out to ``<path>.<switch>`` files (opened exclusively — a
+            stale file from an earlier run fails loudly rather than
+            being silently mixed in).  ``churn`` applies to every
+            switch, or only to ``ChurnConfig.switches`` when set.
+        batch_size: Per-switch micro-batch size (results are
+            bit-identical at any size — the serving-loop contract).
+        link_failures: Optional ``[(time, a, b), ...]`` — at each
+            simulated time the link goes down and affected flows
+            reroute (future packets only; per-flow paths are stable
+            between failures).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        pipeline_factory: Callable[[SwitchContext], object],
+        system_factory: Callable[[SwitchContext], CachingSystem],
+        controller: Optional[FabricController] = None,
+        config: Optional[SimConfig] = None,
+        batch_size: int = 256,
+        link_failures: Optional[List[Tuple[float, str, str]]] = None,
+    ):
+        self.topology = topology
+        self.pipeline_factory = pipeline_factory
+        self.system_factory = system_factory
+        if controller is None:
+            if len(topology) != 1:
+                raise ValueError(
+                    "a multi-switch fabric needs a FabricController "
+                    "with a flow endpoint map"
+                )
+            controller = FabricController(
+                topology,
+                default_endpoints=(
+                    topology.switches[0], topology.switches[0]
+                ),
+            )
+        self.controller = controller
+        self.config = config or SimConfig()
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.batch_size = batch_size
+        self.link_failures = sorted(link_failures or [])
+        #: Per-switch serving drivers of the most recent run.
+        self.drivers: Dict[str, ServingDriver] = {}
+
+    # -- per-switch assembly ----------------------------------------------------
+
+    def _contexts(self) -> List[SwitchContext]:
+        return [
+            SwitchContext(
+                switch=name,
+                role=self.topology.role(name),
+                index=i,
+                topology=self.topology,
+            )
+            for i, name in enumerate(self.topology.switches)
+        ]
+
+    def _switch_telemetry(self, switch: str) -> Optional[Telemetry]:
+        """A fresh per-switch hub mirroring the template's tracer
+        settings — the sharded engine's ``_shard_telemetry`` pattern
+        with ``<path>.<switch>`` derived sinks."""
+        parent = self.config.telemetry
+        if parent is None:
+            return None
+        sink = (
+            f"{parent.tracer.sink_path}.{switch}"
+            if parent.tracer.sink_path is not None
+            else None
+        )
+        tel = Telemetry(
+            trace_capacity=parent.tracer.capacity,
+            tracing=parent.tracer.enabled,
+            trace_sink=sink,
+            trace_sink_exclusive=True,
+        )
+        tel.tracer.mask = parent.tracer.mask
+        tel.tracer.event_filter = parent.tracer.event_filter
+        return tel
+
+    def _switch_config(
+        self, context: SwitchContext, tel: Optional[Telemetry]
+    ) -> SimConfig:
+        churn = self.config.churn
+        if churn is not None:
+            resolved = resolve_churn(churn)
+            targets = resolved.switches
+            if targets is not None and context.switch not in targets:
+                churn = None
+        return replace(
+            self.config, telemetry=tel, churn=churn, shards=1
+        )
+
+    # -- the fabric loop --------------------------------------------------------
+
+    def run(self, trace) -> FabricResult:
+        """Replay a trace (or packet iterable) across the fabric."""
+        packets = (
+            stream_trace(trace) if hasattr(trace, "columns") else iter(trace)
+        )
+        topology = self.topology
+        controller = self.controller
+        multi = len(topology) > 1
+
+        if not multi:
+            # Golden contract: one switch == the classic engine, run
+            # with the caller's config verbatim (telemetry hub
+            # included), no renaming, no hop events.
+            context = self._contexts()[0]
+            driver = ServingDriver(
+                self.pipeline_factory(context),
+                self.system_factory(context),
+                self.config,
+                ServeConfig(batch_size=self.batch_size),
+            )
+            self.drivers = {context.switch: driver}
+            result = driver.serve(packets)
+            return FabricResult(
+                merged=result,
+                switch_results={context.switch: result},
+                registry=(
+                    self.config.telemetry.registry
+                    if self.config.telemetry is not None
+                    else None
+                ),
+                topology=topology,
+                packets=result.packets,
+                hops_total=result.packets,
+                reroutes=controller.reroutes,
+                path_length_counts={1: result.packets},
+            )
+
+        drivers: Dict[str, ServingDriver] = {}
+        buffers: Dict[str, list] = {}
+        tels: Dict[str, Telemetry] = {}
+        hop_tracers: Dict[str, tuple] = {}
+        for context in self._contexts():
+            tel = self._switch_telemetry(context.switch)
+            system = self.system_factory(context)
+            # Qualify the system name per switch (instance attribute
+            # shadows the class attribute) so telemetry labels, trace
+            # cache codes and per-switch results are attributable;
+            # merge strips the qualifier again.
+            base = type(system).name
+            system.name = f"{base}@{context.switch}"
+            driver = ServingDriver(
+                self.pipeline_factory(context),
+                system,
+                self._switch_config(context, tel),
+                ServeConfig(batch_size=self.batch_size),
+            )
+            driver.start()
+            drivers[context.switch] = driver
+            buffers[context.switch] = []
+            if tel is not None:
+                tels[context.switch] = tel
+                tracer = tel.tracer
+                if tracer.enabled:
+                    hop_tracers[context.switch] = (
+                        tracer,
+                        tracer.intern_cache(system.name),
+                    )
+        self.drivers = drivers
+
+        batch_size = self.batch_size
+        failures = list(self.link_failures)
+        next_failure = failures[0][0] if failures else float("inf")
+        packets_in = 0
+        hops_total = 0
+        path_length_counts: Dict[int, int] = {}
+
+        for packet in packets:
+            now = packet.timestamp
+            packets_in += 1
+            while now >= next_failure:
+                _t, a, b = failures.pop(0)
+                controller.fail_link(a, b)
+                next_failure = failures[0][0] if failures else float("inf")
+            path = controller.path_for(packet.flow_id)
+            hops = len(path)
+            hops_total += hops
+            path_length_counts[hops] = path_length_counts.get(hops, 0) + 1
+            for hop, switch in enumerate(path):
+                traced = hop_tracers.get(switch)
+                if traced is not None:
+                    tracer, cache_code = traced
+                    if tracer.mask & BIT_HOP:
+                        tracer.append((
+                            now, CODE_HOP, cache_code,
+                            hash(packet.flow) & 0xFFFFFFFF, hop, hops,
+                        ))
+                buf = buffers[switch]
+                buf.append(packet)
+                if len(buf) >= batch_size:
+                    drivers[switch].process(buf)
+                    buf.clear()
+
+        switch_results: Dict[str, SimResult] = {}
+        for switch in topology.switches:
+            buf = buffers[switch]
+            if buf:
+                drivers[switch].process(buf)
+                buf.clear()
+            switch_results[switch] = drivers[switch].finish()
+        for tel in tels.values():
+            # Derived per-switch sinks are fabric-owned: flush the tail
+            # and release the descriptors before handing results back.
+            tel.tracer.close()
+
+        merged = SimResult.merge(
+            [
+                _with_base_system(switch_results[name])
+                for name in topology.switches
+            ]
+        )
+        registry = (
+            MetricsRegistry.merged([tel.registry for tel in tels.values()])
+            if tels
+            else None
+        )
+        return FabricResult(
+            merged=merged,
+            switch_results=switch_results,
+            registry=registry,
+            topology=topology,
+            packets=packets_in,
+            hops_total=hops_total,
+            reroutes=controller.reroutes,
+            path_length_counts=path_length_counts,
+        )

@@ -31,6 +31,7 @@ from .trace import (
     EV_EVICT,
     EV_FASTPATH_INVALIDATE,
     EV_FASTPATH_REPLAY,
+    EV_HOP,
     EV_INSTALL,
     EV_LOOKUP_HIT,
     EV_LOOKUP_MISS,
@@ -39,6 +40,7 @@ from .trace import (
     EV_SNAPSHOT,
     EV_SWEEP,
     TraceEvent,
+    TraceSinkError,
     Tracer,
 )
 
@@ -51,6 +53,7 @@ __all__ = [
     "EV_EVICT",
     "EV_FASTPATH_INVALIDATE",
     "EV_FASTPATH_REPLAY",
+    "EV_HOP",
     "EV_INSTALL",
     "EV_LOOKUP_HIT",
     "EV_LOOKUP_MISS",
@@ -66,6 +69,7 @@ __all__ = [
     "MetricsRegistry",
     "Telemetry",
     "TraceEvent",
+    "TraceSinkError",
     "Tracer",
     "age_histogram",
     "analyze_events",

@@ -60,6 +60,9 @@ for the per-event field schema):
 ``snapshot``              a periodic occupancy/churn snapshot was taken
 ``controller``            the adaptive controller changed a knob
 ``chain_repair``          a shadowed chain was repaired on the miss path
+``hop``                   a packet was enqueued at one switch of its
+                          fabric path (:mod:`repro.net`; per-switch
+                          cache label, hop index, path length)
 ========================  =====================================================
 
 (Earlier revisions also emitted a per-packet ``lookup_start`` event; it
@@ -83,7 +86,13 @@ from typing import (
     Union,
 )
 
-__all__ = ["TraceEvent", "Tracer", "EVENT_CODES", "EVENT_FIELDS"]
+__all__ = [
+    "TraceEvent",
+    "TraceSinkError",
+    "Tracer",
+    "EVENT_CODES",
+    "EVENT_FIELDS",
+]
 
 EV_LOOKUP_HIT = "lookup_hit"
 EV_LOOKUP_MISS = "lookup_miss"
@@ -97,8 +106,10 @@ EV_SWEEP = "sweep"
 EV_SNAPSHOT = "snapshot"
 EV_CONTROLLER = "controller"
 EV_CHAIN_REPAIR = "chain_repair"
+EV_HOP = "hop"
 
-#: Builtin event names, index == interned code.
+#: Builtin event names, index == interned code.  Append-only: existing
+#: codes are pinned by recorded traces and the sharded/fabric fan-out.
 EVENT_NAMES: Tuple[str, ...] = (
     EV_LOOKUP_HIT,
     EV_LOOKUP_MISS,
@@ -112,6 +123,7 @@ EVENT_NAMES: Tuple[str, ...] = (
     EV_SNAPSHOT,
     EV_CONTROLLER,
     EV_CHAIN_REPAIR,
+    EV_HOP,
 )
 
 #: ``{event name: interned code}`` for the builtin vocabulary.
@@ -129,6 +141,7 @@ CODE_SWEEP = EVENT_CODES[EV_SWEEP]
 CODE_SNAPSHOT = EVENT_CODES[EV_SNAPSHOT]
 CODE_CONTROLLER = EVENT_CODES[EV_CONTROLLER]
 CODE_CHAIN_REPAIR = EVENT_CODES[EV_CHAIN_REPAIR]
+CODE_HOP = EVENT_CODES[EV_HOP]
 
 #: Per-code mask bits (``mask & BIT_x`` gates emission of event x).
 BIT_LOOKUP_HIT = 1 << CODE_LOOKUP_HIT
@@ -143,6 +156,7 @@ BIT_SWEEP = 1 << CODE_SWEEP
 BIT_SNAPSHOT = 1 << CODE_SNAPSHOT
 BIT_CONTROLLER = 1 << CODE_CONTROLLER
 BIT_CHAIN_REPAIR = 1 << CODE_CHAIN_REPAIR
+BIT_HOP = 1 << CODE_HOP
 
 #: Field-name schema per builtin code: the decode key for flat records.
 #: ``cache`` slots hold interned cache-name ints, ``flow`` slots hold raw
@@ -162,6 +176,7 @@ EVENT_FIELDS: Tuple[Tuple[str, ...], ...] = (
      "per_table", "epoch", "epoch_delta", "ages"),            # snapshot
     ("cache", "knob", "from", "to"),                          # controller
     ("cache", "flow", "removed"),                             # chain_repair
+    ("cache", "flow", "hop", "path_len"),                     # hop
 )
 
 #: Housekeeping stride for the generic :meth:`Tracer.emit` path: after
@@ -169,6 +184,22 @@ EVENT_FIELDS: Tuple[Tuple[str, ...], ...] = (
 #: sink flush + ring trim itself (instrumented hot paths rely on the
 #: telemetry sweep cadence instead).
 FLUSH_EVERY = 4096
+
+
+class TraceSinkError(RuntimeError):
+    """A trace sink could not be opened or written.
+
+    Raised instead of the bare :class:`OSError` so every failure
+    carries *which* sink broke — load-bearing in the sharded/fabric
+    fan-out, where many derived ``<path>.shard<N>`` / ``<path>.<switch>``
+    sinks are in flight and a silent truncation (or a worker dying
+    mid-run on a full disk) would otherwise be indistinguishable from a
+    clean run.  :attr:`path` holds the sink path when known.
+    """
+
+    def __init__(self, message: str, path: Optional[str] = None):
+        super().__init__(message)
+        self.path = path
 
 
 class TraceEvent:
@@ -220,6 +251,14 @@ class Tracer:
         sink_path: The sink's filesystem path when the sink was opened
             from a string (None for caller-owned IO objects) — what the
             sharded engine derives per-worker ``.shard<N>`` paths from.
+
+    ``exclusive=True`` opens a path sink with ``"x"`` instead of
+    ``"w"``, so a pre-existing file raises :class:`TraceSinkError`
+    instead of being silently truncated — the mode the sharded and
+    fabric fan-outs use for their derived per-worker sinks, where a
+    stale file from an earlier run mixing with new output is the
+    hazard.  All open/write/flush failures surface as
+    :class:`TraceSinkError` naming the sink.
     """
 
     def __init__(
@@ -228,6 +267,7 @@ class Tracer:
         enabled: bool = True,
         sink: Union[None, str, IO[str]] = None,
         events: Optional[Iterable[str]] = None,
+        exclusive: bool = False,
     ):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -260,7 +300,14 @@ class Tracer:
         self._owns_sink = False
         self.sink_path: Optional[str] = None
         if isinstance(sink, str):
-            self._sink = open(sink, "w", encoding="utf-8")
+            try:
+                self._sink = open(
+                    sink, "x" if exclusive else "w", encoding="utf-8"
+                )
+            except OSError as exc:
+                raise TraceSinkError(
+                    f"cannot open trace sink {sink!r}: {exc}", path=sink
+                ) from exc
             self._owns_sink = True
             self.sink_path = sink
         elif sink is not None:
@@ -415,17 +462,26 @@ class Tracer:
             if unwritten:
                 dumps = json.dumps
                 materialize = self._materialize
-                sink.write(
-                    "".join(
-                        dumps(materialize(record).to_dict()) + "\n"
-                        for record in buf[len(buf) - unwritten:]
+                try:
+                    sink.write(
+                        "".join(
+                            dumps(materialize(record).to_dict()) + "\n"
+                            for record in buf[len(buf) - unwritten:]
+                        )
                     )
-                )
+                    # Push through the file object's own buffer too:
+                    # the sweep-cadence flush bounds crash loss, which
+                    # a Python-level buffer would silently undo.
+                    sink.flush()
+                except OSError as exc:
+                    # Fail loudly with the sink named: a worker dying
+                    # mid-run on ENOSPC/EPERM must be attributable.
+                    raise TraceSinkError(
+                        f"cannot write trace sink "
+                        f"{self.sink_path or sink!r}: {exc}",
+                        path=self.sink_path,
+                    ) from exc
                 self._sink_written += unwritten
-                # Push through the file object's own buffer too: the
-                # sweep-cadence flush bounds crash loss, which a
-                # Python-level buffer would silently undo.
-                sink.flush()
         excess = len(buf) - self.capacity
         if excess > 0:
             del buf[:excess]
@@ -441,11 +497,20 @@ class Tracer:
 
     def close(self) -> None:
         """Flush and close an owned JSONL sink (idempotent)."""
-        if self._sink is not None:
+        sink = self._sink
+        if sink is not None:
             self._sync()
-            self._sink.flush()
-            if self._owns_sink:
-                self._sink.close()
+            try:
+                sink.flush()
+                if self._owns_sink:
+                    sink.close()
+            except OSError as exc:
+                self._sink = None
+                raise TraceSinkError(
+                    f"cannot close trace sink "
+                    f"{self.sink_path or sink!r}: {exc}",
+                    path=self.sink_path,
+                ) from exc
             self._sink = None
 
     def __enter__(self) -> "Tracer":

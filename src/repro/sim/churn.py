@@ -50,17 +50,30 @@ class ChurnConfig:
             cadence).  A finite budget is what makes the backlog a real
             signal: it grows when churn outpaces the budget and drains
             when the control plane quiets down.
+        switches: Fabric targeting (:mod:`repro.net`): when set, only
+            the named switches apply the schedule — the others run
+            churn-free, modelling control-plane updates that hit one
+            tier of a fabric.  ``None`` (the default) targets every
+            switch; the single-switch engine ignores the field.
     """
 
     schedule: ChurnSchedule
     reval_interval: Optional[float] = None
     reval_budget: int = 64
+    switches: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if self.reval_interval is not None and self.reval_interval <= 0:
             raise ValueError("reval_interval must be positive")
         if self.reval_budget < 0:
             raise ValueError("reval_budget must be non-negative")
+        if self.switches is not None:
+            self.switches = tuple(self.switches)
+            if not self.switches:
+                raise ValueError(
+                    "switches must name at least one switch (use None "
+                    "to target all switches)"
+                )
 
 
 def resolve_churn(spec) -> ChurnConfig:

@@ -89,7 +89,16 @@ class SimResult:
         packets: Packets simulated.
         entry_count: Cache entries installed at end of run.
         peak_entries: Maximum entries observed at any point — the paper's
-            "cache entries" metric (Figs. 3b, 10, 15, 16).
+            "cache entries" metric (Figs. 3b, 10, 15, 16).  For a
+            *merged* result (``peak_entries_per_shard`` is set) this is
+            only an **upper bound**: per-shard peaks need not be
+            simultaneous, so their sum can exceed the true aggregate
+            peak.  Check :attr:`peak_entries_exact` before presenting
+            it as an observed value.
+        peak_entries_per_shard: Per-shard (or per-switch, for fabric
+            runs) exact peaks, in shard order — ``None`` for a plain
+            single-engine run, where ``peak_entries`` itself is exact.
+            Preserved losslessly through nested merges.
         capacity: Total cache capacity.
         avg_latency_us: Modelled mean per-packet latency.
         avg_miss_cost_us: Modelled mean slow-path cost per miss.
@@ -121,6 +130,7 @@ class SimResult:
     coverage: Optional[int] = None
     cache_probes: int = 0
     telemetry: Optional[dict] = None
+    peak_entries_per_shard: Optional[Tuple[int, ...]] = None
 
     @staticmethod
     def merge(results: "List[SimResult]") -> "SimResult":
@@ -147,7 +157,12 @@ class SimResult:
 
         ``peak_entries`` is the only lossy field: per-shard peaks need
         not be simultaneous, so their sum is an upper bound on the true
-        aggregate peak (see ``docs/sharding.md``).
+        aggregate peak (see ``docs/sharding.md``).  The exact per-shard
+        peaks are therefore preserved in ``peak_entries_per_shard``
+        (flattened across nested merges, so merging is associative),
+        and consumers must render the merged scalar as the bound it is
+        — ``summary()`` prints ``peak_entries<=N``, and
+        ``peak_entries_exact`` is the programmatic check.
         """
         if not results:
             raise ValueError("cannot merge zero results")
@@ -185,6 +200,15 @@ class SimResult:
                 else 0.0
             )
         coverages = [r.coverage for r in results if r.coverage is not None]
+        # Exact per-shard peaks survive the (lossy) scalar sum; inputs
+        # that are themselves merges contribute their flattened lists,
+        # keeping merge associative.
+        peaks_per_shard: List[int] = []
+        for r in results:
+            if r.peak_entries_per_shard is not None:
+                peaks_per_shard.extend(r.peak_entries_per_shard)
+            else:
+                peaks_per_shard.append(r.peak_entries)
         entry_count = sum(r.entry_count for r in results)
         capacity = sum(r.capacity for r in results)
         telemetry = None
@@ -220,6 +244,7 @@ class SimResult:
             coverage=sum(coverages) if coverages else None,
             cache_probes=sum(r.cache_probes for r in results),
             telemetry=telemetry,
+            peak_entries_per_shard=tuple(peaks_per_shard),
         )
 
     @property
@@ -232,13 +257,31 @@ class SimResult:
 
     @property
     def occupancy(self) -> float:
-        """Peak fraction of capacity in use (Fig. 10's y-axis)."""
+        """Peak fraction of capacity in use (Fig. 10's y-axis).
+
+        An upper bound when :attr:`peak_entries_exact` is false (the
+        per-shard peaks in the numerator need not be simultaneous).
+        """
         return self.peak_entries / self.capacity if self.capacity else 0.0
+
+    @property
+    def peak_entries_exact(self) -> bool:
+        """True when ``peak_entries`` is an observed simultaneous peak;
+        false for merged results, where it is only an upper bound on
+        the true aggregate peak."""
+        return self.peak_entries_per_shard is None
+
+    def peak_entries_label(self) -> str:
+        """``peak_entries`` rendered honestly: ``=`` for an observed
+        peak, ``<=`` for a merged upper bound — every CLI/bench surface
+        renders through this so a bound is never presented as exact."""
+        relation = "=" if self.peak_entries_exact else "<="
+        return f"peak_entries{relation}{self.peak_entries}"
 
     def summary(self) -> str:
         """One-line human-readable result."""
         return (
             f"{self.system}: hit_rate={self.hit_rate:.4f} "
-            f"misses={self.misses} peak_entries={self.peak_entries}/"
+            f"misses={self.misses} {self.peak_entries_label()}/"
             f"{self.capacity} avg_latency={self.avg_latency_us:.2f}us"
         )

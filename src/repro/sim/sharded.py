@@ -42,6 +42,7 @@ import numpy as np
 from ..flow.key import FlowKey
 from ..obs.metrics import MetricsRegistry
 from ..obs.telemetry import Telemetry
+from ..obs.trace import TraceSinkError
 from ..workload.pipebench import Trace
 from .engine import CachingSystem, SimConfig, VSwitchSimulator
 from .results import SimResult
@@ -262,6 +263,15 @@ class ShardedSimulator:
         file descriptor is shared across the fork.  Caller-owned IO
         sinks (``sink_path`` is ``None``) stay parent-only: a forked
         file object would interleave garbage.
+
+        Derived sinks open *exclusively*: a pre-existing
+        ``<path>.shard<N>`` (stale output from an earlier run that
+        would otherwise be silently truncated — or worse, silently
+        *mixed in* by downstream ``repro trace`` globbing) or an
+        unwritable directory raises
+        :class:`~repro.obs.trace.TraceSinkError` naming the shard,
+        which :meth:`_run_shard` surfaces with
+        :class:`ShardWorkerError` semantics instead of a mid-run death.
         """
         parent = self.config.telemetry
         if parent is None:
@@ -275,6 +285,7 @@ class ShardedSimulator:
             trace_capacity=parent.tracer.capacity,
             tracing=parent.tracer.enabled,
             trace_sink=sink,
+            trace_sink_exclusive=True,
         )
         # Mirror the event selection bit-for-bit (set_events would
         # re-derive the same mask; copying keeps dynamic interning
@@ -286,7 +297,15 @@ class ShardedSimulator:
     def _run_shard(self, shard_id: int, shards: int, trace: Trace):
         """Run one shard to completion (called inside the worker for
         ``"processes"`` mode, in-process for ``"inline"``)."""
-        tel = self._shard_telemetry(shard_id)
+        try:
+            tel = self._shard_telemetry(shard_id)
+        except TraceSinkError as exc:
+            # Name the shard loudly (ShardWorkerError semantics): in
+            # processes mode the parent wraps this into a
+            # ShardWorkerError; inline mode raises it directly.
+            raise TraceSinkError(
+                f"shard {shard_id}: {exc}", path=exc.path
+            ) from exc
         cfg = replace(self.config, shards=1, telemetry=tel)
         context = ShardContext(
             shard_id=shard_id,

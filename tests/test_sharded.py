@@ -440,3 +440,47 @@ class TestSimResultMerge:
         own = dict(result.series.buckets())
         for start, rate in merged.series.buckets():
             assert rate == pytest.approx(own[start])
+
+    # -- peak_entries bound semantics (the one lossy merge field) ----------
+
+    def test_merged_peak_is_labelled_upper_bound(self):
+        result = self._result()
+        assert result.peak_entries_exact
+        assert result.peak_entries_per_shard is None
+        assert f"peak_entries={result.peak_entries}" in result.summary()
+
+        merged = SimResult.merge([result, result])
+        assert not merged.peak_entries_exact
+        assert merged.peak_entries_per_shard == (
+            result.peak_entries, result.peak_entries
+        )
+        assert merged.peak_entries == 2 * result.peak_entries
+        assert f"peak_entries<={merged.peak_entries}" in merged.summary()
+
+    def test_nested_merge_flattens_per_shard_peaks(self):
+        result = self._result()
+        inner = SimResult.merge([result, result])
+        outer = SimResult.merge([inner, result])
+        # Associative: merge(merge(a, b), c) keeps three exact peaks,
+        # not (bound-of-two, peak) — so no information is lost however
+        # the fold is bracketed.
+        assert outer.peak_entries_per_shard == (
+            result.peak_entries,
+        ) * 3
+        assert outer.peak_entries == sum(outer.peak_entries_per_shard)
+
+    def test_sharded_run_reports_per_shard_peaks(self):
+        workload = small_workload()
+        driver = ShardedSimulator(
+            workload.pipeline,
+            gigaflow_factory,
+            sim_config(shards=2),
+            seed=7,
+            mode="inline",
+        )
+        merged = driver.run(small_trace(workload))
+        assert not merged.peak_entries_exact
+        assert merged.peak_entries_per_shard == tuple(
+            part.peak_entries for part in driver.shard_results
+        )
+        assert merged.peak_entries == sum(merged.peak_entries_per_shard)

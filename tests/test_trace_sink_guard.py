@@ -1,0 +1,159 @@
+"""Tests for loud trace-sink failure (:class:`TraceSinkError`).
+
+The hazards pinned here:
+
+* **Stale derived files** — the sharded and fabric fan-outs write
+  ``<path>.shard<N>`` / ``<path>.<switch>`` sinks; a file left by an
+  earlier run must fail the open (exclusive ``"x"`` mode), not be
+  silently truncated or, worse, mixed into.
+* **Unwritable destination** — an open into an invalid directory
+  surfaces as :class:`TraceSinkError` naming the path.
+* **Mid-run write/close failures** — wrapped with the sink path, never
+  a bare ``OSError`` from deep inside ``_sync``.
+* **Worker attribution** — a shard whose derived sink cannot open
+  fails loudly *with the shard id*, in both inline and processes
+  modes (matching ``ShardWorkerError`` semantics).
+"""
+
+import io
+
+import pytest
+
+from conftest import seeded_trace, seeded_workload
+from repro.net import FabricController, FabricSimulator, leaf_spine
+from repro.obs import Telemetry, TraceSinkError
+from repro.obs.trace import Tracer
+from repro.sim import (
+    GigaflowSystem,
+    ShardWorkerError,
+    ShardedSimulator,
+    SimConfig,
+)
+from repro.workload import build_fabric_endpoints
+
+
+def gigaflow_factory(_context):
+    return GigaflowSystem(num_tables=4, table_capacity=100)
+
+
+class _FailingIO(io.StringIO):
+    def __init__(self, fail_on="write"):
+        super().__init__()
+        self.fail_on = fail_on
+
+    def write(self, text):
+        if self.fail_on == "write":
+            raise OSError("disk full")
+        return super().write(text)
+
+    def flush(self):
+        if self.fail_on == "flush":
+            raise OSError("stale handle")
+        return super().flush()
+
+
+# ---------------------------------------------------------------------------
+# Tracer-level guard
+
+
+class TestTracerSinkGuard:
+    def test_exclusive_open_rejects_existing_file(self, tmp_path):
+        stale = tmp_path / "trace.jsonl"
+        stale.write_text("{}\n")
+        with pytest.raises(TraceSinkError) as excinfo:
+            Tracer(sink=str(stale), exclusive=True)
+        assert excinfo.value.path == str(stale)
+        # The stale content was not touched.
+        assert stale.read_text() == "{}\n"
+
+    def test_non_exclusive_open_still_truncates(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("old\n")
+        tracer = Tracer(sink=str(path))
+        tracer.close()
+        assert "old" not in path.read_text()
+
+    def test_open_into_invalid_directory(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("")
+        target = blocker / "trace.jsonl"
+        with pytest.raises(TraceSinkError) as excinfo:
+            Tracer(sink=str(target), exclusive=True)
+        assert excinfo.value.path == str(target)
+
+    def test_write_failure_wrapped(self):
+        tracer = Tracer(sink=_FailingIO("write"))
+        tracer.emit(0.0, "sweep", evicted=0, scanned=0)
+        with pytest.raises(TraceSinkError):
+            tracer.flush()
+
+    def test_close_failure_wrapped(self):
+        tracer = Tracer(sink=_FailingIO("flush"))
+        with pytest.raises(TraceSinkError):
+            tracer.close()
+
+
+# ---------------------------------------------------------------------------
+# Sharded fan-out
+
+
+class TestShardedSinkGuard:
+    def _driver(self, sink, mode, shards=2):
+        workload = seeded_workload()
+        driver = ShardedSimulator(
+            workload.pipeline,
+            gigaflow_factory,
+            SimConfig(
+                telemetry=Telemetry(trace_sink=str(sink)),
+                shards=shards,
+            ),
+            seed=7,
+            mode=mode,
+        )
+        return driver, seeded_trace(workload)
+
+    def test_inline_worker_names_shard(self, tmp_path):
+        sink = tmp_path / "t.jsonl"
+        (tmp_path / "t.jsonl.shard1").write_text("stale\n")
+        driver, trace = self._driver(sink, "inline")
+        with pytest.raises(TraceSinkError, match="shard 1"):
+            driver.run(trace)
+
+    def test_process_worker_surfaces_shard_id(self, tmp_path):
+        sink = tmp_path / "t.jsonl"
+        (tmp_path / "t.jsonl.shard0").write_text("stale\n")
+        driver, trace = self._driver(sink, "processes")
+        with pytest.raises(ShardWorkerError) as excinfo:
+            driver.run(trace)
+        assert excinfo.value.shard_id == 0
+
+    def test_clean_directory_fans_out(self, tmp_path):
+        sink = tmp_path / "t.jsonl"
+        driver, trace = self._driver(sink, "inline")
+        driver.run(trace)
+        assert (tmp_path / "t.jsonl.shard0").exists()
+        assert (tmp_path / "t.jsonl.shard1").exists()
+
+
+# ---------------------------------------------------------------------------
+# Fabric fan-out
+
+
+class TestFabricSinkGuard:
+    def test_stale_switch_sink_fails_loudly(self, tmp_path):
+        sink = tmp_path / "f.jsonl"
+        (tmp_path / "f.jsonl.leaf1").write_text("stale\n")
+        topo = leaf_spine(2, 2)
+        workload = seeded_workload()
+        fabric = FabricSimulator(
+            topo,
+            lambda _context: seeded_workload().pipeline,
+            gigaflow_factory,
+            controller=FabricController(
+                topo, build_fabric_endpoints(topo, 250, seed=5)
+            ),
+            config=SimConfig(telemetry=Telemetry(trace_sink=str(sink))),
+        )
+        with pytest.raises(TraceSinkError) as excinfo:
+            fabric.run(seeded_trace(workload))
+        assert excinfo.value.path == str(tmp_path / "f.jsonl.leaf1")
